@@ -1,0 +1,30 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+__all__ = ["print_result", "series_grows", "series_flat"]
+
+
+def print_result(result) -> None:
+    """Print a paper-vs-measured table from an ExperimentResult."""
+    print()
+    print(result.to_text())
+
+
+def series_grows(values, factor: float = 1.5) -> bool:
+    """True when the last value exceeds the cheapest earlier value by ``factor``.
+
+    Comparing against the minimum of the earlier points (rather than just the
+    first point) makes the check robust to one-off timer noise on the first
+    measurement while still requiring a genuine upward trend.
+    """
+    values = [float(v) for v in values]
+    baseline = max(min(values[:-1]), 1e-9)
+    return values[-1] >= baseline * factor
+
+
+def series_flat(values, factor: float = 5.0) -> bool:
+    """True when the series stays within ``factor`` of its cheapest value."""
+    values = [float(v) for v in values]
+    baseline = max(min(values), 1e-9)
+    return max(values) <= baseline * factor

@@ -1,0 +1,107 @@
+"""Shared configuration and fixtures for the benchmark suite.
+
+Every benchmark file regenerates one table or figure of the paper via the
+experiment harness (printed as a paper-vs-measured comparison and checked for
+the expected qualitative shape), and additionally micro-benchmarks the
+headline operation of that table with pytest-benchmark.
+
+The workload is deliberately small (two datasets, ~12k intervals, a handful of
+queries) so that ``pytest benchmarks/ --benchmark-only`` finishes in minutes;
+the same harness scales up via ``repro-experiments --preset default|paper``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AIT, AITV, AWIT
+from repro.baselines import HINT, KDS, IntervalTree, KDTreeIndex
+from repro.datasets import generate_queries
+from repro.experiments import ExperimentConfig, build_dataset
+
+#: Benchmark-scale configuration shared by every benchmark module.
+BENCH_CONFIG = ExperimentConfig.smoke().with_overrides(
+    datasets=("book", "btc"),
+    dataset_size=30_000,
+    query_count=8,
+    sample_size=500,
+    update_count=150,
+    extent_sweep=(0.02, 0.08, 0.32),
+    sample_size_sweep=(100, 2_000, 20_000),
+    dataset_size_fractions=(0.5, 1.0),
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The shared benchmark configuration."""
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """A single synthetic dataset used by the micro-benchmarks."""
+    return build_dataset(BENCH_CONFIG, "btc")
+
+
+@pytest.fixture(scope="session")
+def bench_weighted_dataset():
+    """The weighted variant of the micro-benchmark dataset."""
+    return build_dataset(BENCH_CONFIG, "btc", weighted=True)
+
+
+@pytest.fixture(scope="session")
+def bench_queries(bench_dataset):
+    """Query workload (8% extent) over the micro-benchmark dataset."""
+    return generate_queries(
+        bench_dataset, count=BENCH_CONFIG.query_count,
+        extent_fraction=BENCH_CONFIG.extent_fraction, random_state=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_ait(bench_dataset):
+    """A prebuilt AIT over the micro-benchmark dataset."""
+    return AIT(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_ait_v(bench_dataset):
+    """A prebuilt AIT-V over the micro-benchmark dataset."""
+    return AITV(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_awit(bench_weighted_dataset):
+    """A prebuilt AWIT over the weighted micro-benchmark dataset."""
+    return AWIT(bench_weighted_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_interval_tree(bench_dataset):
+    """A prebuilt classic interval tree."""
+    return IntervalTree(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_hint(bench_dataset):
+    """A prebuilt HINT^m index."""
+    return HINT(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_kds(bench_dataset):
+    """A prebuilt KDS index."""
+    return KDS(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_kdtree(bench_dataset):
+    """A prebuilt kd-tree index."""
+    return KDTreeIndex(bench_dataset)
+
+
+def print_result(result) -> None:
+    """Print a paper-vs-measured table from an ExperimentResult."""
+    print()
+    print(result.to_text())

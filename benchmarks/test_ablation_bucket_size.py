@@ -1,0 +1,48 @@
+"""Ablation: AIT-V bucket size — the space / sampling-time trade-off of Section III-C.
+
+The paper fixes the bucket size at Θ(log n): larger buckets shrink the
+virtual AIT (less memory) but make each bucket's virtual interval looser and
+each accepted sample more expensive; a bucket size of 1 degenerates to the
+plain AIT's memory footprint.
+"""
+
+from __future__ import annotations
+
+from bench_utils import print_result
+from repro import AITV
+from repro.datasets import generate_queries
+from repro.experiments import ExperimentResult
+
+
+def test_ablation_bucket_size_tradeoff(benchmark, bench_config, bench_dataset):
+    """Memory shrinks monotonically as the bucket size grows; sampling stays correct."""
+    queries = generate_queries(bench_dataset, count=4,
+                               extent_fraction=bench_config.extent_fraction, random_state=6)
+    result = ExperimentResult(
+        experiment_id="ablation_bucket_size",
+        title="AIT-V bucket size ablation (memory vs candidate-draw overhead)",
+        columns=["bucket_size", "buckets", "memory_mb", "draws_per_sample"],
+    )
+
+    memory_by_size: list[float] = []
+    for bucket_size in (1, 4, 16, 64):
+        index = AITV(bench_dataset, bucket_size=bucket_size)
+        draws = 0
+        for query in queries:
+            index.sample(query, bench_config.sample_size, random_state=1)
+            draws += index.last_candidate_draws
+        memory_mb = index.memory_bytes() / 1e6
+        memory_by_size.append(memory_mb)
+        result.add_row(
+            bucket_size=bucket_size,
+            buckets=index.bucket_count,
+            memory_mb=memory_mb,
+            draws_per_sample=draws / (bench_config.sample_size * len(queries)),
+        )
+    print_result(result)
+
+    # Larger buckets must never need more memory than smaller ones.
+    assert all(memory_by_size[i + 1] <= memory_by_size[i] * 1.05 for i in range(len(memory_by_size) - 1))
+
+    index = AITV(bench_dataset)
+    benchmark(lambda: index.sample(queries[0], bench_config.sample_size, random_state=0))

@@ -1,0 +1,47 @@
+"""Ablation: per-record weighted sampling — cumulative-sum method vs per-query alias.
+
+Section IV-B argues that replacing the cumulative-sum method with Walker's
+alias method *inside a node record* would require building an alias table
+over the record's intervals for every query, costing O(|X(R_i)|) = O(n); the
+cumulative-sum method reuses the prefix arrays precomputed offline and pays
+only O(log n) per draw.  This benchmark makes that design choice measurable.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.sampling import AliasTable, prefix_sums, resolve_rng, sample_from_prefix_range
+
+
+def test_ablation_cumulative_sum_vs_per_query_alias(benchmark):
+    """Prefix-sum draws beat rebuilding an alias table per query for large records."""
+    rng = resolve_rng(0)
+    record_size = 200_000        # a case-3 record can cover a constant fraction of X
+    sample_size = 1_000
+    weights = rng.integers(1, 101, record_size).astype(float)
+
+    # Offline part of the AWIT: the prefix array exists before any query arrives.
+    prefix = prefix_sums(weights)
+
+    start = time.perf_counter()
+    draws_prefix = [sample_from_prefix_range(prefix, 0, record_size - 1, rng) for _ in range(sample_size)]
+    prefix_seconds = time.perf_counter() - start
+
+    # The rejected design: build an alias table over the record at query time.
+    start = time.perf_counter()
+    table = AliasTable(weights)
+    draws_alias = table.sample_many(sample_size, rng).tolist()
+    alias_seconds = time.perf_counter() - start
+
+    print(f"\nweighted draws from a record of {record_size} intervals (s = {sample_size}):")
+    print(f"  cumulative-sum method (prefix precomputed): {prefix_seconds * 1e3:.2f} ms")
+    print(f"  per-query alias build + O(1) draws:         {alias_seconds * 1e3:.2f} ms")
+
+    assert len(draws_prefix) == len(draws_alias) == sample_size
+    # The O(n) alias build dominates and must lose against O(s log n) prefix draws.
+    assert prefix_seconds < alias_seconds
+
+    benchmark(lambda: sample_from_prefix_range(prefix, 0, record_size - 1, rng))

@@ -1,0 +1,25 @@
+"""Benchmark for Fig. 10: running time vs dataset size (weighted case)."""
+
+from __future__ import annotations
+
+from bench_utils import print_result, series_flat
+from repro.experiments import run_experiment
+
+
+def test_fig10_weighted_dataset_size_sweep(benchmark, bench_config, bench_awit, bench_queries):
+    """Regenerate Fig. 10 and benchmark the AWIT weighted-counting primitive."""
+    result = run_experiment("fig10", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        rows = sorted(
+            (row for row in result.rows if row["dataset"] == dataset_name),
+            key=lambda row: row["n"],
+        )
+        # AWIT is insensitive to n and beats the search-based algorithms at the top size.
+        assert series_flat([row["awit"] for row in rows], factor=10.0)
+        assert rows[-1]["awit"] < rows[-1]["interval_tree"]
+        assert rows[-1]["awit"] < rows[-1]["hint"]
+
+    query = bench_queries[0]
+    benchmark(lambda: bench_awit.total_weight(query))

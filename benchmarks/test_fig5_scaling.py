@@ -1,0 +1,26 @@
+"""Benchmark for Fig. 5: AIT / AIT-V build time and memory vs dataset size."""
+
+from __future__ import annotations
+
+from bench_utils import print_result
+from repro import AITV
+from repro.experiments import run_experiment
+
+
+def test_fig5_build_and_memory_scaling(benchmark, bench_config, bench_dataset):
+    """Regenerate Fig. 5 and benchmark the AIT-V build."""
+    result = run_experiment("fig5", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        rows = [row for row in result.rows if row["dataset"] == dataset_name]
+        rows.sort(key=lambda row: row["n"])
+        smallest, largest = rows[0], rows[-1]
+        # Memory and build time must grow with n (roughly linearly; we only
+        # check monotonicity to stay robust against timer noise).
+        assert largest["ait_memory_mb"] > smallest["ait_memory_mb"]
+        assert largest["ait_v_memory_mb"] > smallest["ait_v_memory_mb"]
+        # AIT-V stays well below AIT at the largest size (O(n) vs O(n log n)).
+        assert largest["ait_v_memory_mb"] < largest["ait_memory_mb"]
+
+    benchmark(lambda: AITV(bench_dataset))

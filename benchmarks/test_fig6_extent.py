@@ -1,0 +1,28 @@
+"""Benchmark for Fig. 6: running time vs query extent (non-weighted case)."""
+
+from __future__ import annotations
+
+from bench_utils import print_result, series_flat, series_grows
+from repro.experiments import run_experiment
+
+
+def test_fig6_query_extent_sweep(benchmark, bench_config, bench_ait, bench_dataset):
+    """Regenerate Fig. 6 and benchmark an AIT query at the largest extent."""
+    result = run_experiment("fig6", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        rows = sorted(
+            (row for row in result.rows if row["dataset"] == dataset_name),
+            key=lambda row: row["extent_pct"],
+        )
+        # Search-based total time grows with the extent (HINT^m enumerates the
+        # result set element by element); the AIT stays flat and beats HINT^m
+        # outright at the widest query.
+        assert series_grows([row["hint"] for row in rows], factor=1.5)
+        assert series_flat([row["ait"] for row in rows], factor=10.0)
+        assert rows[-1]["ait"] < rows[-1]["hint"]
+
+    lo, hi = bench_dataset.domain()
+    wide_query = (lo, lo + 0.32 * (hi - lo))
+    benchmark(lambda: bench_ait.sample(wide_query, bench_config.sample_size, random_state=0))

@@ -1,0 +1,30 @@
+"""Benchmark for Fig. 7: running time vs sample size (non-weighted case)."""
+
+from __future__ import annotations
+
+from bench_utils import print_result, series_flat, series_grows
+from repro.experiments import run_experiment
+
+
+def test_fig7_sample_size_sweep(benchmark, bench_config, bench_ait, bench_queries):
+    """Regenerate Fig. 7 and benchmark an AIT query at the largest sample size."""
+    result = run_experiment("fig7", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        rows = sorted(
+            (row for row in result.rows if row["dataset"] == dataset_name),
+            key=lambda row: row["sample_size"],
+        )
+        # The s-sensitive algorithms (AIT, KDS) cost clearly more at the
+        # largest sample size, the search-based HINT^m barely moves, and KDS
+        # ends up at least as expensive as the search-based interval tree —
+        # the crossover the paper points out for large s.
+        assert series_grows([row["ait"] for row in rows], factor=1.5)
+        assert series_grows([row["kds"] for row in rows], factor=1.5)
+        assert series_flat([row["hint"] for row in rows], factor=2.5)
+        assert rows[-1]["kds"] >= rows[-1]["interval_tree"]
+
+    query = bench_queries[0]
+    largest_s = max(bench_config.sample_size_sweep)
+    benchmark(lambda: bench_ait.sample(query, largest_s, random_state=0))

@@ -1,0 +1,27 @@
+"""Benchmark for Fig. 8: running time vs dataset size (non-weighted case)."""
+
+from __future__ import annotations
+
+from bench_utils import print_result, series_flat, series_grows
+from repro.experiments import run_experiment
+
+
+def test_fig8_dataset_size_sweep(benchmark, bench_config, bench_ait_v, bench_queries):
+    """Regenerate Fig. 8 and benchmark an AIT-V query at full size."""
+    result = run_experiment("fig8", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        rows = sorted(
+            (row for row in result.rows if row["dataset"] == dataset_name),
+            key=lambda row: row["n"],
+        )
+        # The AIT family must be insensitive to the dataset size, while
+        # HINT^m's per-query cost tracks the growing result set; at the
+        # largest n the AIT beats HINT^m outright.
+        assert series_flat([row["ait"] for row in rows], factor=10.0)
+        assert series_grows([row["hint"] for row in rows], factor=1.3)
+        assert rows[-1]["ait"] < rows[-1]["hint"]
+
+    query = bench_queries[0]
+    benchmark(lambda: bench_ait_v.sample(query, bench_config.sample_size, random_state=0))

@@ -1,0 +1,27 @@
+"""Benchmark for Fig. 9: running time vs query extent (weighted case)."""
+
+from __future__ import annotations
+
+from bench_utils import print_result, series_flat, series_grows
+from repro.experiments import run_experiment
+
+
+def test_fig9_weighted_extent_sweep(benchmark, bench_config, bench_awit, bench_weighted_dataset):
+    """Regenerate Fig. 9 and benchmark an AWIT query at the largest extent."""
+    result = run_experiment("fig9", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        rows = sorted(
+            (row for row in result.rows if row["dataset"] == dataset_name),
+            key=lambda row: row["extent_pct"],
+        )
+        # Search-based weighted sampling grows with the extent (alias over q ∩ X);
+        # the AWIT stays nearly flat.
+        assert series_grows([row["interval_tree"] for row in rows], factor=1.5)
+        assert series_flat([row["awit"] for row in rows], factor=10.0)
+        assert rows[-1]["awit"] < rows[-1]["interval_tree"]
+
+    lo, hi = bench_weighted_dataset.domain()
+    wide_query = (lo, lo + 0.32 * (hi - lo))
+    benchmark(lambda: bench_awit.sample(wide_query, bench_config.sample_size, random_state=0))

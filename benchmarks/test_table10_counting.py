@@ -1,0 +1,22 @@
+"""Benchmark for Table X: range counting time (AIT vs HINT^m vs kd-tree)."""
+
+from __future__ import annotations
+
+from bench_utils import print_result
+from repro.experiments import run_experiment
+
+
+def test_table10_range_counting(benchmark, bench_config, bench_ait, bench_queries):
+    """Regenerate Table X and benchmark one AIT counting query."""
+    result = run_experiment("table10", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        ait = result.row_by(algorithm="ait")[dataset_name]
+        hint = result.row_by(algorithm="hint")[dataset_name]
+        # Paper shape: AIT counting (O(log^2 n)) is far below HINT^m, which
+        # enumerates the result set to count it.
+        assert ait < hint
+
+    query = bench_queries[0]
+    benchmark(lambda: bench_ait.count(query))

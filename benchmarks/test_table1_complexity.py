@@ -1,0 +1,25 @@
+"""Benchmark for Table I: the empirical growth-rate check behind the complexity table."""
+
+from __future__ import annotations
+
+from bench_utils import print_result
+from repro.experiments import run_experiment
+
+
+def test_table1_complexity(benchmark, bench_config, bench_ait, bench_queries):
+    """Regenerate Table I's empirical check and benchmark one AIT query."""
+    result = run_experiment("table1", bench_config)
+    print_result(result)
+
+    size_growth = result.rows[0]["size_growth_x"]
+    ait_growth = result.row_by(algorithm="ait")["growth_x"]
+    ait_v_growth = result.row_by(algorithm="ait_v")["growth_x"]
+    hint_growth = result.row_by(algorithm="hint")["growth_x"]
+    # The AIT family must grow more slowly than the dataset (Table I's
+    # polylogarithmic bound), while HINT^m tracks the growing result set.
+    assert ait_growth < size_growth
+    assert ait_v_growth < size_growth
+    assert hint_growth > 1.2
+
+    query = bench_queries[0]
+    benchmark(lambda: bench_ait.sample(query, bench_config.sample_size, random_state=0))

@@ -1,0 +1,22 @@
+"""Benchmark for Table II: synthetic dataset generation matching the published statistics."""
+
+from __future__ import annotations
+
+from bench_utils import print_result
+from repro.datasets import PAPER_DATASETS, generate_paper_dataset
+from repro.experiments import run_experiment
+
+
+def test_table2_dataset_statistics(benchmark, bench_config):
+    """Regenerate Table II and benchmark dataset generation."""
+    result = run_experiment("table2", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        spec = PAPER_DATASETS[dataset_name]
+        row = result.row_by(dataset=dataset_name)
+        assert row["cardinality"] == bench_config.dataset_size
+        assert row["domain_size"] <= spec.domain_size
+        assert 0.3 * spec.median_length <= row["median_length"] <= 3.0 * spec.median_length
+
+    benchmark(lambda: generate_paper_dataset("btc", n=bench_config.dataset_size, random_state=0))

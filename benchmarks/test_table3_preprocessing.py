@@ -1,0 +1,21 @@
+"""Benchmark for Table III: index construction time (non-weighted case)."""
+
+from __future__ import annotations
+
+from bench_utils import print_result
+from repro import AIT
+from repro.experiments import run_experiment
+
+
+def test_table3_preprocessing(benchmark, bench_config, bench_dataset):
+    """Regenerate Table III and benchmark the AIT build."""
+    result = run_experiment("table3", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        ait_build = result.row_by(algorithm="ait")[dataset_name]
+        ait_v_build = result.row_by(algorithm="ait_v")[dataset_name]
+        # AIT-V builds over n/log n virtual intervals and must be cheaper than the full AIT.
+        assert ait_v_build < ait_build
+
+    benchmark(lambda: AIT(bench_dataset))

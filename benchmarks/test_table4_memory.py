@@ -1,0 +1,23 @@
+"""Benchmark for Table IV: index memory usage (non-weighted case)."""
+
+from __future__ import annotations
+
+from bench_utils import print_result
+from repro.experiments import run_experiment, structure_memory_bytes
+
+
+def test_table4_memory(benchmark, bench_config, bench_ait):
+    """Regenerate Table IV and benchmark the memory measurement itself."""
+    result = run_experiment("table4", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        ait_memory = result.row_by(algorithm="ait")[dataset_name]
+        ait_v_memory = result.row_by(algorithm="ait_v")[dataset_name]
+        interval_tree_memory = result.row_by(algorithm="interval_tree")[dataset_name]
+        # The paper's shape: AIT is the largest structure, AIT-V far smaller,
+        # the plain interval tree sits below the AIT.
+        assert ait_v_memory < ait_memory
+        assert interval_tree_memory < ait_memory
+
+    benchmark(lambda: structure_memory_bytes(bench_ait))

@@ -1,0 +1,29 @@
+"""Benchmark for Table V: candidate computation time (non-weighted case)."""
+
+from __future__ import annotations
+
+from bench_utils import print_result
+from repro.experiments import run_experiment
+
+
+def test_table5_candidate_computation(benchmark, bench_config, bench_ait, bench_queries):
+    """Regenerate Table V and benchmark the AIT candidate phase (collect_records)."""
+    result = run_experiment("table5", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        ait = result.row_by(algorithm="ait")[dataset_name]
+        ait_v = result.row_by(algorithm="ait_v")[dataset_name]
+        interval_tree = result.row_by(algorithm="interval_tree")[dataset_name]
+        hint = result.row_by(algorithm="hint")[dataset_name]
+        # Paper shape: the AIT family computes its candidate (the record set R)
+        # far faster than the search-based algorithms compute q ∩ X.  The
+        # comparison against HINT^m is clear-cut; the numpy interval tree emits
+        # the result as a handful of array slices, so it is only required not
+        # to beat the AIT by more than vectorisation noise.
+        assert ait < hint
+        assert ait_v < hint
+        assert ait <= interval_tree * 1.5
+
+    query = bench_queries[0]
+    benchmark(lambda: bench_ait.collect_records(query))

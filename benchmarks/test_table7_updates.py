@@ -1,0 +1,31 @@
+"""Benchmark for Table VII: amortized AIT update time (insert, batch insert, delete)."""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import print_result
+from repro import AIT
+from repro.experiments import run_experiment
+
+
+def test_table7_update_time(benchmark, bench_config, bench_dataset):
+    """Regenerate Table VII and benchmark one pooled insertion."""
+    result = run_experiment("table7", bench_config)
+    print_result(result)
+
+    for dataset_name in bench_config.datasets:
+        insertion = result.row_by(operation="Insertion")[dataset_name]
+        batch = result.row_by(operation="Batch insertion")[dataset_name]
+        deletion = result.row_by(operation="Deletion")[dataset_name]
+        # Paper shape: batch insertion is far cheaper than one-by-one insertion,
+        # and deletions are also much cheaper than one-by-one insertion.
+        assert batch < insertion
+        assert deletion < insertion
+
+    tree = AIT(bench_dataset)
+
+    def insert_one():
+        tree.insert((1000.0, 1500.0))
+
+    benchmark(insert_one)

@@ -1,0 +1,21 @@
+"""Benchmark for Table VIII: AWIT pre-processing time and memory (weighted case)."""
+
+from __future__ import annotations
+
+from bench_utils import print_result
+from repro import AWIT
+from repro.experiments import run_experiment
+
+
+def test_table8_awit_build(benchmark, bench_config, bench_weighted_dataset):
+    """Regenerate Table VIII and benchmark the AWIT build."""
+    result = run_experiment("table8", bench_config)
+    print_result(result)
+
+    build_row = result.row_by(metric="Pre-processing time [sec]")
+    memory_row = result.row_by(metric="Memory usage [MB]")
+    for dataset_name in bench_config.datasets:
+        assert build_row[dataset_name] > 0.0
+        assert memory_row[dataset_name] > 0.0
+
+    benchmark(lambda: AWIT(bench_weighted_dataset))

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable-wheel support (or that lack the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

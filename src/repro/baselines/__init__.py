@@ -1,0 +1,24 @@
+"""Competitor structures re-implemented from the paper's evaluation section."""
+
+from .exhaustive import ExhaustiveScan
+from .hint import HINT
+from .interval_tree import IntervalTree
+from .kds import KDS
+from .kdtree import KDTreeIndex
+from .period_index import PeriodIndex
+from .segment_tree import SegmentTree
+from .sorted_array import EndpointIRS, SortedArrayIRS
+from .timeline_index import TimelineIndex
+
+__all__ = [
+    "ExhaustiveScan",
+    "HINT",
+    "IntervalTree",
+    "KDS",
+    "KDTreeIndex",
+    "PeriodIndex",
+    "SegmentTree",
+    "EndpointIRS",
+    "SortedArrayIRS",
+    "TimelineIndex",
+]

@@ -1,0 +1,44 @@
+"""Helpers shared by the search-based baselines.
+
+The competitors in the paper (interval tree, HINT^m) answer an IRS query by
+first materialising ``q ∩ X`` and then sampling from it: simple random
+sampling in the unweighted case, and an alias table built *per query* in the
+weighted case.  This module implements that final sampling step so all
+search-based baselines behave identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import IntervalDataset
+from ..sampling.alias import AliasTable
+
+__all__ = ["sample_from_result"]
+
+
+def sample_from_result(
+    result_ids: np.ndarray,
+    sample_size: int,
+    rng: np.random.Generator,
+    dataset: IntervalDataset | None = None,
+    weighted: bool = False,
+) -> np.ndarray:
+    """Draw ``sample_size`` ids from a materialised result set.
+
+    Unweighted: simple random sampling with replacement (O(s)).
+    Weighted: builds a Walker alias table over the result's weights — an
+    O(|q ∩ X|) cost per query, which is exactly the overhead the paper's
+    Table IX attributes to the search-based competitors.
+    """
+    if result_ids.shape[0] == 0 or sample_size == 0:
+        return np.empty(0, dtype=np.int64)
+    if not weighted:
+        positions = rng.integers(0, result_ids.shape[0], size=sample_size)
+        return result_ids[positions]
+    if dataset is None:
+        raise ValueError("weighted sampling from a result set requires the dataset")
+    weights = dataset.weights[result_ids]
+    table = AliasTable(weights)
+    positions = table.sample_many(sample_size, rng)
+    return result_ids[positions]

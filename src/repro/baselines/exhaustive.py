@@ -1,0 +1,70 @@
+"""Brute-force oracle: linear scan over the whole dataset.
+
+Not a competitor from the paper — it exists as the ground truth against which
+every index (ours and the baselines) is validated in the test-suite, and as
+the simplest possible reference implementation of both IRS problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import OnEmpty, SamplingIndex
+from ..core.dataset import IntervalDataset
+from ..core.query import QueryLike
+from ..sampling.rng import RandomState, resolve_rng
+from .common import sample_from_result
+
+__all__ = ["ExhaustiveScan"]
+
+
+class ExhaustiveScan(SamplingIndex):
+    """O(n) linear-scan reporting, counting and sampling (the correctness oracle).
+
+    Parameters
+    ----------
+    dataset:
+        The intervals to scan.
+    weighted:
+        When True, :meth:`sample` draws with probability proportional to the
+        interval weights (Problem 2); otherwise uniformly (Problem 1).
+    """
+
+    def __init__(self, dataset: IntervalDataset, weighted: bool = False) -> None:
+        super().__init__(dataset)
+        self._weighted = bool(weighted)
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when sampling is weight-proportional."""
+        return self._weighted
+
+    def report(self, query: QueryLike) -> np.ndarray:
+        """All ids overlapping the query, by linear scan."""
+        query_left, query_right = self._coerce(query)
+        return self._dataset.overlap_indices(query_left, query_right)
+
+    def count(self, query: QueryLike) -> int:
+        """``|q ∩ X|`` by linear scan."""
+        query_left, query_right = self._coerce(query)
+        return self._dataset.overlap_count(query_left, query_right)
+
+    def total_weight(self, query: QueryLike) -> float:
+        """Total weight of ``q ∩ X`` by linear scan."""
+        return float(self._dataset.weights[self.report(query)].sum())
+
+    def sample(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> np.ndarray:
+        """Materialise ``q ∩ X`` and sample from it."""
+        query_pair = self._coerce(query)
+        sample_size = self._validate_sample_size(sample_size)
+        rng = resolve_rng(random_state)
+        result = self.report(query_pair)
+        if result.shape[0] == 0:
+            return self._handle_empty(sample_size, on_empty, query_pair)
+        return sample_from_result(result, sample_size, rng, self._dataset, self._weighted)

@@ -1,0 +1,194 @@
+"""HINT^m — hierarchical index for intervals (Christodoulou et al., SIGMOD 2022).
+
+HINT^m partitions a discretised domain ``[0, 2^m)`` hierarchically: level
+``ℓ`` has ``2^ℓ`` equal-width partitions.  Every interval is stored in the
+canonical set of partitions that exactly covers its discretised extent (the
+classic segment-tree decomposition, at most two partitions per level), so a
+range query only needs to visit, per level, the partitions overlapping the
+query extent — every interval found there is guaranteed to overlap the query,
+making the scan essentially comparison-free.
+
+Faithfulness note: the original HINT^m avoids duplicate results with
+``O_in/O_aft`` sub-lists per partition.  This reproduction instead marks, per
+interval, the single copy stored in the partition containing its start point
+as the *primary* copy; a query reports primaries from every relevant
+partition plus replicas from the first relevant partition of each level, and
+removes the (rare) duplicates with one ``np.unique`` pass.  The asymptotic
+behaviour the paper relies on — ``Ω(|q ∩ X|)`` per range query — and the
+qualitative comparison against the AIT are unaffected.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.base import OnEmpty, SamplingIndex
+from ..core.dataset import IntervalDataset
+from ..core.query import QueryLike
+from ..sampling.rng import RandomState, resolve_rng
+from .common import sample_from_result
+
+__all__ = ["HINT"]
+
+
+class _Partition:
+    """Contents of one partition of one level."""
+
+    __slots__ = ("primaries", "replicas")
+
+    def __init__(self) -> None:
+        self.primaries: list[int] = []
+        self.replicas: list[int] = []
+
+
+class HINT(SamplingIndex):
+    """Hierarchical interval index (HINT^m) with search-then-sample IRS.
+
+    Parameters
+    ----------
+    dataset:
+        The intervals to index.
+    num_levels:
+        The ``m`` parameter: the bottom level has ``2^m`` partitions.
+        Defaults to ``min(10, ceil(log2 n))`` which mirrors the paper's
+        recommendation of choosing m relative to the dataset size.
+    weighted:
+        When True, sampling is weight-proportional (per-query alias table).
+    """
+
+    def __init__(
+        self,
+        dataset: IntervalDataset,
+        num_levels: int | None = None,
+        weighted: bool = False,
+    ) -> None:
+        super().__init__(dataset)
+        self._weighted = bool(weighted)
+        n = len(dataset)
+        if num_levels is None:
+            num_levels = max(1, min(10, int(math.ceil(math.log2(max(2, n))))))
+        if num_levels < 1:
+            raise ValueError("num_levels must be at least 1")
+        self._m = int(num_levels)
+
+        domain_lo, domain_hi = dataset.domain()
+        self._domain_lo = domain_lo
+        extent = max(domain_hi - domain_lo, 1e-12)
+        self._cells = 1 << self._m
+        self._scale = self._cells / extent
+
+        # levels[ℓ] maps partition index -> _Partition; sparse dict per level.
+        self._levels: list[dict[int, _Partition]] = [dict() for _ in range(self._m + 1)]
+        lo_cells = self._discretise(dataset.lefts)
+        hi_cells = self._discretise(dataset.rights)
+        for interval_id in range(n):
+            self._assign(interval_id, int(lo_cells[interval_id]), int(hi_cells[interval_id]))
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _discretise(self, values: np.ndarray) -> np.ndarray:
+        cells = np.floor((values - self._domain_lo) * self._scale).astype(np.int64)
+        return np.clip(cells, 0, self._cells - 1)
+
+    def _assign(self, interval_id: int, lo_cell: int, hi_cell: int) -> None:
+        """Store the interval in its canonical partition decomposition."""
+        first = True
+        a, b = lo_cell, hi_cell
+        level = self._m
+        while a <= b and level >= 0:
+            if a == b:
+                self._store(level, a, interval_id, primary=first)
+                break
+            if a % 2 == 1:
+                self._store(level, a, interval_id, primary=first)
+                first = False
+                a += 1
+            if b % 2 == 0:
+                self._store(level, b, interval_id, primary=False)
+                b -= 1
+            a //= 2
+            b //= 2
+            level -= 1
+
+    def _store(self, level: int, cell: int, interval_id: int, primary: bool) -> None:
+        partition = self._levels[level].setdefault(cell, _Partition())
+        if primary:
+            partition.primaries.append(interval_id)
+        else:
+            partition.replicas.append(interval_id)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_levels(self) -> int:
+        """The ``m`` parameter (bottom level has ``2^m`` partitions)."""
+        return self._m
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when sampling is weight-proportional."""
+        return self._weighted
+
+    def partition_count(self) -> int:
+        """Number of non-empty partitions across all levels."""
+        return sum(len(level) for level in self._levels)
+
+    def memory_bytes(self) -> int:
+        """Approximate structure size in bytes (8 bytes per stored id + overhead)."""
+        total = 0
+        for level in self._levels:
+            for partition in level.values():
+                total += 8 * (len(partition.primaries) + len(partition.replicas)) + 64
+        return total
+
+    # ------------------------------------------------------------------ #
+    # range search
+    # ------------------------------------------------------------------ #
+    def report(self, query: QueryLike) -> np.ndarray:
+        """All ids overlapping the query; cost Ω(|q ∩ X|)."""
+        query_left, query_right = self._coerce(query)
+        lo_cell = int(self._discretise(np.asarray([query_left]))[0])
+        hi_cell = int(self._discretise(np.asarray([query_right]))[0])
+
+        collected: list[int] = []
+        level_lo, level_hi = lo_cell, hi_cell
+        for level in range(self._m, -1, -1):
+            partitions = self._levels[level]
+            if partitions:
+                for cell in range(level_lo, level_hi + 1):
+                    partition = partitions.get(cell)
+                    if partition is None:
+                        continue
+                    collected.extend(partition.primaries)
+                    if cell == level_lo:
+                        collected.extend(partition.replicas)
+            level_lo //= 2
+            level_hi //= 2
+
+        if not collected:
+            return np.empty(0, dtype=np.int64)
+        candidates = np.unique(np.asarray(collected, dtype=np.int64))
+        # Discretisation can let a cell-sharing non-overlapping interval slip in;
+        # one vectorised comparison pass removes those false positives.
+        lefts = self._dataset.lefts[candidates]
+        rights = self._dataset.rights[candidates]
+        mask = (lefts <= query_right) & (query_left <= rights)
+        return candidates[mask]
+
+    def sample(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> np.ndarray:
+        """Search-then-sample IRS: materialise ``q ∩ X``, then draw from it."""
+        query_pair = self._coerce(query)
+        sample_size = self._validate_sample_size(sample_size)
+        rng = resolve_rng(random_state)
+        result = self.report(query_pair)
+        if result.shape[0] == 0:
+            return self._handle_empty(sample_size, on_empty, query_pair)
+        return sample_from_result(result, sample_size, rng, self._dataset, self._weighted)

@@ -1,0 +1,180 @@
+"""Edelsbrunner's interval tree (Section II-B) — the "Interval tree" competitor.
+
+The classic interval tree stores, per node, the intervals that contain the
+node's central point, sorted by left and by right endpoint, and delegates the
+remaining intervals to the left/right subtrees.  It supports stabbing queries
+in ``O(log n + K)`` but *range* queries degrade to ``O(n)`` because both
+subtrees must be visited whenever the query straddles a node's center
+(Remark 1 in the paper).  As a competitor for IRS it materialises ``q ∩ X``
+and samples from it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import OnEmpty, SamplingIndex
+from ..core.dataset import IntervalDataset
+from ..core.query import QueryLike
+from ..sampling.rng import RandomState, resolve_rng
+from .common import sample_from_result
+
+__all__ = ["IntervalTree"]
+
+
+class _IntervalTreeNode:
+    """One node of the classic interval tree."""
+
+    __slots__ = ("center", "ids_by_left", "lefts", "ids_by_right", "rights", "left", "right")
+
+    def __init__(self, center: float) -> None:
+        self.center = center
+        self.ids_by_left = np.empty(0, dtype=np.int64)
+        self.lefts = np.empty(0, dtype=np.float64)
+        self.ids_by_right = np.empty(0, dtype=np.int64)
+        self.rights = np.empty(0, dtype=np.float64)
+        self.left: Optional["_IntervalTreeNode"] = None
+        self.right: Optional["_IntervalTreeNode"] = None
+
+    def nbytes(self) -> int:
+        return int(
+            self.ids_by_left.nbytes
+            + self.lefts.nbytes
+            + self.ids_by_right.nbytes
+            + self.rights.nbytes
+        ) + 64
+
+
+class IntervalTree(SamplingIndex):
+    """Classic (non-augmented) interval tree; IRS via search-then-sample.
+
+    Parameters
+    ----------
+    dataset:
+        The intervals to index.
+    weighted:
+        When True, sampling is weight-proportional and requires building a
+        per-query alias table over the materialised result set.
+    """
+
+    def __init__(self, dataset: IntervalDataset, weighted: bool = False) -> None:
+        super().__init__(dataset)
+        self._weighted = bool(weighted)
+        ids = np.arange(len(dataset), dtype=np.int64)
+        ids_by_left = ids[np.argsort(dataset.lefts, kind="stable")]
+        ids_by_right = ids[np.argsort(dataset.rights, kind="stable")]
+        self._root, self._height = self._build(ids_by_left, ids_by_right, 1)
+
+    # ------------------------------------------------------------------ #
+    def _build(
+        self, ids_by_left: np.ndarray, ids_by_right: np.ndarray, depth: int
+    ) -> tuple[_IntervalTreeNode, int]:
+        lefts = self._dataset.lefts[ids_by_left]
+        rights_left_order = self._dataset.rights[ids_by_left]
+        rights = self._dataset.rights[ids_by_right]
+        lefts_right_order = self._dataset.lefts[ids_by_right]
+
+        center = float(np.median(np.concatenate((lefts, rights))))
+        node = _IntervalTreeNode(center)
+
+        stab_l = (lefts <= center) & (rights_left_order >= center)
+        node.ids_by_left = ids_by_left[stab_l]
+        node.lefts = lefts[stab_l]
+        stab_r = (lefts_right_order <= center) & (rights >= center)
+        node.ids_by_right = ids_by_right[stab_r]
+        node.rights = rights[stab_r]
+
+        height = depth
+        left_mask_l = rights_left_order < center
+        left_mask_r = rights < center
+        right_mask_l = lefts > center
+        right_mask_r = lefts_right_order > center
+        if left_mask_l.any():
+            node.left, h = self._build(ids_by_left[left_mask_l], ids_by_right[left_mask_r], depth + 1)
+            height = max(height, h)
+        if right_mask_l.any():
+            node.right, h = self._build(
+                ids_by_left[right_mask_l], ids_by_right[right_mask_r], depth + 1
+            )
+            height = max(height, h)
+        return node, height
+
+    # ------------------------------------------------------------------ #
+    @property
+    def height(self) -> int:
+        """Height of the tree."""
+        return self._height
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when sampling is weight-proportional."""
+        return self._weighted
+
+    def memory_bytes(self) -> int:
+        """Approximate structure size in bytes."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += node.nbytes()
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # range search (O(n) worst case — this is the point of the comparison)
+    # ------------------------------------------------------------------ #
+    def report(self, query: QueryLike) -> np.ndarray:
+        """All ids overlapping the query via recursive tree traversal."""
+        query_left, query_right = self._coerce(query)
+        chunks: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if query_right < node.center:
+                # Only intervals with left endpoint <= q.r can overlap.
+                hi = int(np.searchsorted(node.lefts, query_right, side="right"))
+                if hi > 0:
+                    chunks.append(node.ids_by_left[:hi])
+                stack.append(node.left)
+            elif node.center < query_left:
+                lo = int(np.searchsorted(node.rights, query_left, side="left"))
+                if lo < node.rights.shape[0]:
+                    chunks.append(node.ids_by_right[lo:])
+                stack.append(node.right)
+            else:
+                # The query straddles the center: all stab intervals overlap and
+                # both subtrees must be visited — the O(n) worst case.
+                if node.ids_by_left.shape[0]:
+                    chunks.append(node.ids_by_left)
+                stack.append(node.left)
+                stack.append(node.right)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def stab(self, point: float) -> np.ndarray:
+        """Stabbing query: ids of intervals containing ``point`` (O(log n + K))."""
+        return self.report((point, point))
+
+    def sample(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> np.ndarray:
+        """Search-then-sample IRS: materialise ``q ∩ X``, then draw from it."""
+        query_pair = self._coerce(query)
+        sample_size = self._validate_sample_size(sample_size)
+        rng = resolve_rng(random_state)
+        result = self.report(query_pair)
+        if result.shape[0] == 0:
+            return self._handle_empty(sample_size, on_empty, query_pair)
+        return sample_from_result(result, sample_size, rng, self._dataset, self._weighted)

@@ -1,0 +1,124 @@
+"""Period index (Behrend et al., SSTD 2019) — related-work substrate.
+
+The period index partitions the time domain into fixed-width *buckets* and,
+inside each bucket, groups intervals by duration into a small number of
+*levels* (a 2-D grid over position and duration).  An interval is registered
+in every bucket its span touches, at the level matching its length; a range
+query visits the buckets overlapping the query and filters the registered
+intervals, using the duration levels to skip groups that cannot qualify.
+
+Like the timeline index it is part of the paper's related-work inventory
+(Section VI): a practical heuristic structure for range and duration queries
+that HINT^m was shown to outperform.  It is included as a further substrate
+and cross-check oracle; it also demonstrates that bucket-grid structures need
+``Ω(|q ∩ X|)`` per range query just like the other search-based baselines.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.base import IntervalIndex
+from ..core.dataset import IntervalDataset
+from ..core.query import QueryLike
+
+__all__ = ["PeriodIndex"]
+
+
+class PeriodIndex(IntervalIndex):
+    """Bucket-and-duration-level grid index for interval data.
+
+    Parameters
+    ----------
+    dataset:
+        The intervals to index.
+    bucket_count:
+        Number of equal-width buckets over the domain (default ``sqrt(n)``,
+        capped to keep replication reasonable).
+    levels:
+        Number of duration levels per bucket (default 4, as suggested in the
+        original paper's evaluation).
+    """
+
+    def __init__(
+        self, dataset: IntervalDataset, bucket_count: int | None = None, levels: int = 4
+    ) -> None:
+        super().__init__(dataset)
+        n = len(dataset)
+        if bucket_count is None:
+            bucket_count = max(1, min(4096, int(math.sqrt(n))))
+        if bucket_count < 1:
+            raise ValueError("bucket_count must be at least 1")
+        if levels < 1:
+            raise ValueError("levels must be at least 1")
+        self._bucket_count = int(bucket_count)
+        self._levels = int(levels)
+
+        domain_lo, domain_hi = dataset.domain()
+        self._domain_lo = domain_lo
+        self._bucket_width = max((domain_hi - domain_lo) / self._bucket_count, 1e-12)
+
+        # Duration level thresholds: geometric split of the maximum length.
+        lengths = dataset.lengths()
+        max_length = max(float(lengths.max()), 1e-12)
+        self._level_bounds = np.array(
+            [max_length * (2.0 ** -(self._levels - 1 - level)) for level in range(self._levels)]
+        )
+
+        # grid[bucket][level] -> list of interval ids registered there.
+        self._grid: list[list[list[int]]] = [
+            [[] for _ in range(self._levels)] for _ in range(self._bucket_count)
+        ]
+        first_bucket = self._bucket_of(dataset.lefts)
+        last_bucket = self._bucket_of(dataset.rights)
+        level_of = np.searchsorted(self._level_bounds, lengths, side="left")
+        level_of = np.minimum(level_of, self._levels - 1)
+        for interval_id in range(n):
+            level = int(level_of[interval_id])
+            for bucket in range(int(first_bucket[interval_id]), int(last_bucket[interval_id]) + 1):
+                self._grid[bucket][level].append(interval_id)
+
+    # ------------------------------------------------------------------ #
+    def _bucket_of(self, values: np.ndarray | float) -> np.ndarray:
+        buckets = np.floor((np.asarray(values, dtype=np.float64) - self._domain_lo) / self._bucket_width)
+        return np.clip(buckets, 0, self._bucket_count - 1).astype(np.int64)
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of domain buckets."""
+        return self._bucket_count
+
+    @property
+    def levels(self) -> int:
+        """Number of duration levels per bucket."""
+        return self._levels
+
+    def memory_bytes(self) -> int:
+        """Approximate structure size in bytes."""
+        total = 0
+        for bucket in self._grid:
+            for level in bucket:
+                total += 8 * len(level) + 64
+        return total
+
+    # ------------------------------------------------------------------ #
+    def report(self, query: QueryLike) -> np.ndarray:
+        """Ids of intervals overlapping the query (bucket scan + filter, Ω(|q ∩ X|))."""
+        query_left, query_right = self._coerce(query)
+        first = int(self._bucket_of(query_left))
+        last = int(self._bucket_of(query_right))
+        candidates: set[int] = set()
+        for bucket in range(first, last + 1):
+            for level in self._grid[bucket]:
+                candidates.update(level)
+        if not candidates:
+            return np.empty(0, dtype=np.int64)
+        ids = np.fromiter(candidates, dtype=np.int64, count=len(candidates))
+        mask = (self._dataset.lefts[ids] <= query_right) & (query_left <= self._dataset.rights[ids])
+        return ids[mask]
+
+    def stab(self, point: float) -> np.ndarray:
+        """Ids of intervals containing ``point``."""
+        return self.report((point, point))

@@ -1,0 +1,122 @@
+"""Segment tree over interval data (related-work substrate, Section VI).
+
+The segment tree partitions the domain into *elementary intervals* defined by
+the sorted distinct endpoints and stores every interval in the O(log n)
+canonical nodes whose ranges it fully covers.  It supports stabbing queries in
+``O(log n + K)`` and needs ``O(n log n)`` space, but — like the plain
+interval tree — it does not support efficient range reporting (the paper
+mentions it among the structures that motivate the AIT).  It is included both
+for completeness of the substrate inventory and as an additional oracle for
+stabbing-query tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import IntervalIndex
+from ..core.dataset import IntervalDataset
+from ..core.query import QueryLike
+
+__all__ = ["SegmentTree"]
+
+
+class _SegmentNode:
+    """Canonical node covering the elementary-interval range [lo, hi] (inclusive)."""
+
+    __slots__ = ("lo", "hi", "interval_ids", "left", "right")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.interval_ids: list[int] = []
+        self.left: Optional["_SegmentNode"] = None
+        self.right: Optional["_SegmentNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+class SegmentTree(IntervalIndex):
+    """Classic segment tree supporting O(log n + K) stabbing queries.
+
+    Range reporting is provided for API completeness but costs up to O(n)
+    (it scans the stabbing structure over the query extent), which is exactly
+    the limitation the paper points out for this family of structures.
+    """
+
+    def __init__(self, dataset: IntervalDataset) -> None:
+        super().__init__(dataset)
+        endpoints = np.unique(np.concatenate((dataset.lefts, dataset.rights)))
+        self._boundaries = endpoints
+        leaf_count = endpoints.shape[0]
+        self._root = self._build(0, leaf_count - 1)
+        for interval_id in range(len(dataset)):
+            lo = int(np.searchsorted(endpoints, dataset.lefts[interval_id], side="left"))
+            hi = int(np.searchsorted(endpoints, dataset.rights[interval_id], side="left"))
+            self._insert(self._root, lo, hi, interval_id)
+
+    # ------------------------------------------------------------------ #
+    def _build(self, lo: int, hi: int) -> _SegmentNode:
+        node = _SegmentNode(lo, hi)
+        if lo < hi:
+            mid = (lo + hi) // 2
+            node.left = self._build(lo, mid)
+            node.right = self._build(mid + 1, hi)
+        return node
+
+    def _insert(self, node: _SegmentNode, lo: int, hi: int, interval_id: int) -> None:
+        if lo <= node.lo and node.hi <= hi:
+            node.interval_ids.append(interval_id)
+            return
+        if node.left is not None and lo <= node.left.hi:
+            self._insert(node.left, lo, hi, interval_id)
+        if node.right is not None and hi >= node.right.lo:
+            self._insert(node.right, lo, hi, interval_id)
+
+    # ------------------------------------------------------------------ #
+    def stab(self, point: float) -> np.ndarray:
+        """Ids of intervals containing ``point`` in O(log n + K)."""
+        point = float(point)
+        boundaries = self._boundaries
+        if point < boundaries[0] or point > boundaries[-1]:
+            return np.empty(0, dtype=np.int64)
+        slot = int(np.searchsorted(boundaries, point, side="right")) - 1
+        collected: list[int] = []
+        node = self._root
+        while node is not None:
+            collected.extend(node.interval_ids)
+            if node.is_leaf:
+                break
+            node = node.left if slot <= node.left.hi else node.right
+        if not collected:
+            return np.empty(0, dtype=np.int64)
+        ids = np.unique(np.asarray(collected, dtype=np.int64))
+        mask = (self._dataset.lefts[ids] <= point) & (point <= self._dataset.rights[ids])
+        return ids[mask]
+
+    def report(self, query: QueryLike) -> np.ndarray:
+        """Range reporting by brute-force predicate over the dataset (O(n)).
+
+        The segment tree has no efficient range-reporting path; this method
+        exists so the class satisfies the :class:`IntervalIndex` interface and
+        can participate in cross-structure consistency tests.
+        """
+        query_left, query_right = self._coerce(query)
+        return self._dataset.overlap_indices(query_left, query_right)
+
+    def memory_bytes(self) -> int:
+        """Approximate structure size in bytes."""
+        total = int(self._boundaries.nbytes)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 48 + 8 * len(node.interval_ids)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return total

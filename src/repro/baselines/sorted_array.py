@@ -1,0 +1,131 @@
+"""One-dimensional IRS on a sorted array (Hu, Qiao and Tao, PODS 2014).
+
+For one-dimensional *points*, IRS is easy: keep the points sorted, locate the
+query range with two binary searches and draw uniform positions between the
+two boundary indices — ``O(log n + s)`` time, exact uniformity.
+
+The paper's introduction explains why this does **not** transfer to interval
+data: applying the trick to interval left endpoints (or right endpoints)
+misses every interval that starts before the query but still overlaps it (or
+double-counts fully covered ones, depending on the reduction).  Two classes
+are provided:
+
+* :class:`SortedArrayIRS` — the correct 1-D point algorithm, used as a
+  substrate and to sanity-check the sampling utilities;
+* :class:`EndpointIRS` — the *incorrect* naive reduction from intervals to
+  their left endpoints, kept as an executable illustration of the paper's
+  argument (tests assert that it under-reports straddling intervals).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.base import OnEmpty, SamplingIndex
+from ..core.dataset import IntervalDataset
+from ..core.errors import EmptyDatasetError, EmptyResultError
+from ..core.query import QueryLike, coerce_query, validate_sample_size
+from ..sampling.rng import RandomState, resolve_rng
+
+__all__ = ["SortedArrayIRS", "EndpointIRS"]
+
+
+class SortedArrayIRS:
+    """Exact IRS over one-dimensional points via a sorted array.
+
+    Parameters
+    ----------
+    points:
+        The 1-D point population.
+
+    Examples
+    --------
+    >>> irs = SortedArrayIRS([1.0, 2.0, 5.0, 9.0])
+    >>> irs.count((1.5, 6.0))
+    2
+    >>> len(irs.sample((1.5, 6.0), 3, random_state=0))
+    3
+    """
+
+    def __init__(self, points: Iterable[float]) -> None:
+        values = np.asarray(list(points) if not isinstance(points, np.ndarray) else points, dtype=np.float64)
+        if values.ndim != 1 or values.shape[0] == 0:
+            raise EmptyDatasetError("SortedArrayIRS requires a non-empty 1-D point collection")
+        self._order = np.argsort(values, kind="stable")
+        self._sorted = values[self._order]
+
+    def __len__(self) -> int:
+        return int(self._sorted.shape[0])
+
+    def _bounds(self, query: QueryLike) -> tuple[int, int]:
+        query_left, query_right = coerce_query(query)
+        lo = int(np.searchsorted(self._sorted, query_left, side="left"))
+        hi = int(np.searchsorted(self._sorted, query_right, side="right")) - 1
+        return lo, hi
+
+    def count(self, query: QueryLike) -> int:
+        """Number of points inside the query range."""
+        lo, hi = self._bounds(query)
+        return max(0, hi - lo + 1)
+
+    def report(self, query: QueryLike) -> np.ndarray:
+        """Original indices of the points inside the query range."""
+        lo, hi = self._bounds(query)
+        if hi < lo:
+            return np.empty(0, dtype=np.int64)
+        return self._order[lo : hi + 1]
+
+    def sample(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> np.ndarray:
+        """Draw ``sample_size`` point indices uniformly from the query range."""
+        sample_size = validate_sample_size(sample_size)
+        lo, hi = self._bounds(query)
+        if hi < lo:
+            if on_empty == "raise":
+                raise EmptyResultError("query range contains no points")
+            return np.empty(0, dtype=np.int64)
+        positions = resolve_rng(random_state).integers(lo, hi + 1, size=sample_size)
+        return self._order[positions]
+
+
+class EndpointIRS(SamplingIndex):
+    """The *incorrect* reduction of interval IRS to 1-D IRS on left endpoints.
+
+    An interval is treated as present in the query iff its left endpoint lies
+    inside ``[q.l, q.r]``; intervals that start before ``q.l`` but extend into
+    the query are missed.  The class exists purely to demonstrate the paper's
+    point (Section I): tests and the quickstart example compare its results
+    against the exhaustive oracle and show the systematic false negatives.
+    """
+
+    def __init__(self, dataset: IntervalDataset) -> None:
+        super().__init__(dataset)
+        self._points = SortedArrayIRS(dataset.lefts)
+
+    def report(self, query: QueryLike) -> np.ndarray:
+        """Ids whose *left endpoint* falls inside the query (misses straddlers)."""
+        return self._points.report(query)
+
+    def sample(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> np.ndarray:
+        """Uniform draws over the (incorrect) left-endpoint population."""
+        return self._points.sample(query, sample_size, random_state=random_state, on_empty=on_empty)
+
+    def missed_intervals(self, query: QueryLike) -> np.ndarray:
+        """Ids in ``q ∩ X`` that this reduction can never return (the false negatives)."""
+        query_left, query_right = self._coerce(query)
+        truth = self._dataset.overlap_indices(query_left, query_right)
+        reported = set(self.report(query).tolist())
+        return np.asarray([i for i in truth.tolist() if i not in reported], dtype=np.int64)

@@ -1,0 +1,141 @@
+"""Timeline index (Kaufmann et al., SIGMOD 2013) — related-work substrate.
+
+The timeline index represents an interval collection as a single *event list*
+sorted by time: every interval contributes a ``start`` event at its left
+endpoint and an ``end`` event just after its right endpoint.  Periodic
+*checkpoints* store the full set of intervals alive at selected positions, so
+a temporal query seeks to the closest checkpoint at or before the query and
+replays the events from there.
+
+The paper lists the timeline index among the interval structures that, like
+the plain interval tree, support temporal scans well but cannot answer range
+(overlap) queries without touching a number of events proportional to the
+query extent — which is why it is superseded by HINT^m as the search-based
+competitor.  It is implemented here to complete the substrate inventory and
+to serve as yet another independent oracle in the cross-structure tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import IntervalIndex
+from ..core.dataset import IntervalDataset
+from ..core.query import QueryLike
+
+__all__ = ["TimelineIndex"]
+
+
+class TimelineIndex(IntervalIndex):
+    """Event-list + checkpoint index for interval data.
+
+    Parameters
+    ----------
+    dataset:
+        The intervals to index.
+    checkpoint_every:
+        Number of events between two consecutive checkpoints.  Smaller values
+        trade memory for faster stabbing queries.  Defaults to
+        ``max(64, sqrt(2n))`` which balances replay length and space.
+    """
+
+    def __init__(self, dataset: IntervalDataset, checkpoint_every: int | None = None) -> None:
+        super().__init__(dataset)
+        n = len(dataset)
+        if checkpoint_every is None:
+            checkpoint_every = max(64, int(np.sqrt(2 * n)))
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        self._checkpoint_every = int(checkpoint_every)
+
+        # Event list: (time, is_start, interval_id), starts before ends at ties so
+        # that closed-interval semantics ([a,b] alive at b) are preserved.
+        starts = dataset.lefts
+        ends = dataset.rights
+        times = np.concatenate((starts, ends))
+        kinds = np.concatenate((np.ones(n, dtype=np.int8), np.zeros(n, dtype=np.int8)))
+        ids = np.concatenate((np.arange(n), np.arange(n)))
+        # Sort by time; for equal times process starts (kind=1) before ends (kind=0)
+        # so an interval is considered alive on its closed right endpoint.
+        order = np.lexsort((-kinds, times))
+        self._event_times = times[order]
+        self._event_kinds = kinds[order]
+        self._event_ids = ids[order]
+
+        # Checkpoints: alive set snapshot before event position p.
+        self._checkpoint_positions: list[int] = []
+        self._checkpoint_alive: list[np.ndarray] = []
+        alive: set[int] = set()
+        for position in range(self._event_times.shape[0]):
+            if position % self._checkpoint_every == 0:
+                self._checkpoint_positions.append(position)
+                self._checkpoint_alive.append(np.fromiter(alive, dtype=np.int64, count=len(alive)))
+            interval_id = int(self._event_ids[position])
+            if self._event_kinds[position] == 1:
+                alive.add(interval_id)
+            else:
+                alive.discard(interval_id)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def checkpoint_every(self) -> int:
+        """Number of events between checkpoints."""
+        return self._checkpoint_every
+
+    @property
+    def checkpoint_count(self) -> int:
+        """Number of stored checkpoints."""
+        return len(self._checkpoint_positions)
+
+    def memory_bytes(self) -> int:
+        """Approximate structure size in bytes."""
+        total = int(self._event_times.nbytes + self._event_kinds.nbytes + self._event_ids.nbytes)
+        total += sum(int(arr.nbytes) + 64 for arr in self._checkpoint_alive)
+        return total
+
+    # ------------------------------------------------------------------ #
+    def alive_at(self, point: float) -> np.ndarray:
+        """Ids of intervals alive at ``point`` (stabbing query via checkpoint + replay)."""
+        point = float(point)
+        # Replay up to and including all events with time <= point, counting starts
+        # before ends at the same time (matching the event ordering above).
+        target = int(np.searchsorted(self._event_times, point, side="right"))
+        checkpoint_index = max(0, int(np.searchsorted(self._checkpoint_positions, target, side="right")) - 1)
+        position = self._checkpoint_positions[checkpoint_index]
+        alive = set(self._checkpoint_alive[checkpoint_index].tolist())
+        while position < target:
+            interval_id = int(self._event_ids[position])
+            if self._event_kinds[position] == 1:
+                alive.add(interval_id)
+            else:
+                alive.discard(interval_id)
+            position += 1
+        # Ends are processed at their timestamp, but closed intervals are still
+        # alive exactly at their right endpoint; add those back.
+        ids = np.fromiter(alive, dtype=np.int64, count=len(alive))
+        at_right_endpoint = np.nonzero(self._dataset.rights == point)[0]
+        if at_right_endpoint.shape[0]:
+            ids = np.union1d(ids, at_right_endpoint)
+        return ids
+
+    def report(self, query: QueryLike) -> np.ndarray:
+        """Ids of intervals overlapping the query.
+
+        An interval overlaps ``[q.l, q.r]`` iff it is alive at ``q.l`` or it
+        starts inside ``(q.l, q.r]``; the first set comes from a stabbing
+        query and the second from a scan of the start events inside the query
+        — a cost proportional to the query extent, which is exactly the
+        limitation the paper ascribes to this family of structures.
+        """
+        query_left, query_right = self._coerce(query)
+        alive = self.alive_at(query_left)
+        # Start events strictly after q.l and at most q.r.
+        start_mask = (self._event_kinds == 1)
+        start_times = self._event_times[start_mask]
+        start_ids = self._event_ids[start_mask]
+        lo = int(np.searchsorted(start_times, query_left, side="right"))
+        hi = int(np.searchsorted(start_times, query_right, side="right"))
+        started_inside = start_ids[lo:hi]
+        if started_inside.shape[0] == 0:
+            return alive
+        return np.union1d(alive, started_inside)

@@ -1,0 +1,44 @@
+"""Core data structures: intervals, datasets, and the AIT / AIT-V / AWIT indexes."""
+
+from .ait import AIT
+from .ait_v import AITV
+from .awit import AWIT
+from .base import IntervalIndex, SamplingIndex
+from .dataset import IntervalDataset
+from .errors import (
+    EmptyDatasetError,
+    EmptyResultError,
+    InvalidIntervalError,
+    InvalidQueryError,
+    InvalidWeightError,
+    ReproError,
+    StructureStateError,
+    UnsupportedOperationError,
+)
+from .interval import Interval
+from .node import AITNode
+from .query import coerce_query, validate_sample_size
+from .records import ListKind, NodeRecord
+
+__all__ = [
+    "AIT",
+    "AITV",
+    "AWIT",
+    "AITNode",
+    "Interval",
+    "IntervalDataset",
+    "IntervalIndex",
+    "SamplingIndex",
+    "ListKind",
+    "NodeRecord",
+    "coerce_query",
+    "validate_sample_size",
+    "ReproError",
+    "InvalidIntervalError",
+    "InvalidQueryError",
+    "InvalidWeightError",
+    "EmptyDatasetError",
+    "EmptyResultError",
+    "StructureStateError",
+    "UnsupportedOperationError",
+]

@@ -1,0 +1,500 @@
+"""AIT — the Augmented Interval Tree (Section III of the paper).
+
+The AIT augments Edelsbrunner's interval tree so that, for any query interval
+``q``, the set of intervals overlapping ``q`` can be described by ``O(log n)``
+*node records* — contiguous runs of per-node sorted lists — computed with at
+most one binary search per visited node.  Independent range sampling then
+reduces to (i) building a Walker alias table over the record sizes and
+(ii) drawing a uniform position inside the chosen record, giving
+``O(log^2 n + s)`` query time overall (Theorem 2) while preserving the exact
+``1 / |q ∩ X|`` per-draw probability (Theorem 3).
+
+The same record collection yields ``|q ∩ X|`` for free, so the AIT also
+answers range counting in ``O(log^2 n)`` (Corollary 1) and range reporting in
+``O(log^2 n + |q ∩ X|)``.
+
+Updates (Section III-D) — one-by-one insertion, pooled batch insertion and
+deletion — are implemented in :mod:`repro.core.updates` and exposed here as
+thin methods.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..sampling.alias import AliasTable
+from ..sampling.cumulative import range_weight
+from ..sampling.rng import RandomState, resolve_rng
+from .base import OnEmpty, SamplingIndex
+from .dataset import IntervalDataset
+from .errors import StructureStateError
+from .interval import Interval
+from .node import AITNode
+from .query import QueryLike
+from .records import ListKind, NodeRecord
+
+__all__ = ["AIT"]
+
+
+class AIT(SamplingIndex):
+    """Augmented interval tree supporting O(log^2 n + s) independent range sampling.
+
+    Parameters
+    ----------
+    dataset:
+        The intervals to index.  The dataset is not modified; the tree keeps
+        its own growable copies of the endpoint (and weight) columns so that
+        updates do not mutate the caller's data.
+    weighted:
+        When True the node lists additionally carry cumulative weight arrays
+        (this is how :class:`~repro.core.awit.AWIT` is realised).  The plain
+        AIT leaves them out and samples uniformly.
+    batch_pool_size:
+        Capacity of the pooled-insertion buffer.  ``None`` (default) uses the
+        paper's ``O(log^2 n)`` rule.
+
+    Examples
+    --------
+    >>> from repro import AIT, IntervalDataset
+    >>> data = IntervalDataset.from_pairs([(0, 10), (5, 15), (20, 30)])
+    >>> tree = AIT(data)
+    >>> tree.count((4, 12))
+    2
+    >>> sorted(tree.report((4, 12)).tolist())
+    [0, 1]
+    >>> len(tree.sample((4, 12), 5, random_state=0))
+    5
+    """
+
+    def __init__(
+        self,
+        dataset: IntervalDataset,
+        weighted: bool = False,
+        batch_pool_size: Optional[int] = None,
+    ) -> None:
+        super().__init__(dataset)
+        self._lefts = dataset.lefts.copy()
+        self._rights = dataset.rights.copy()
+        self._weights = dataset.weights.copy()
+        self._weighted = bool(weighted)
+        self._deleted: set[int] = set()
+        self._active_count = len(dataset)
+        self._pool: list[int] = []
+        self._explicit_pool_size = batch_pool_size
+        self._root: Optional[AITNode] = None
+        self._height = 0
+        self._rebuild_count = 0
+        self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _rebuild(self) -> None:
+        """(Re)build the tree from the currently active intervals."""
+        active = np.array(
+            [i for i in range(self._lefts.shape[0]) if i not in self._deleted], dtype=np.int64
+        )
+        if active.shape[0] == 0:
+            self._root = None
+            self._height = 0
+            return
+        ids_by_left = active[np.argsort(self._lefts[active], kind="stable")]
+        ids_by_right = active[np.argsort(self._rights[active], kind="stable")]
+        self._root, self._height = self._build_node(ids_by_left, ids_by_right, depth=1)
+        self._rebuild_count += 1
+
+    def _build_node(
+        self, ids_by_left: np.ndarray, ids_by_right: np.ndarray, depth: int
+    ) -> tuple[AITNode, int]:
+        """Recursively build the subtree for the given (pre-sorted) interval ids."""
+        lefts_sorted = self._lefts[ids_by_left]
+        rights_for_left_order = self._rights[ids_by_left]
+        rights_sorted = self._rights[ids_by_right]
+        lefts_for_right_order = self._lefts[ids_by_right]
+
+        endpoints = np.concatenate((lefts_sorted, rights_sorted))
+        center = float(np.median(endpoints))
+
+        node = AITNode(center)
+        node.subtree_ids_by_left = ids_by_left
+        node.subtree_lefts = lefts_sorted
+        node.subtree_ids_by_right = ids_by_right
+        node.subtree_rights = rights_sorted
+
+        # Classification relative to the center, in both sort orders so the
+        # children inherit already-sorted id arrays (no per-node re-sorting).
+        stab_mask_l = (lefts_sorted <= center) & (rights_for_left_order >= center)
+        left_mask_l = rights_for_left_order < center
+        right_mask_l = lefts_sorted > center
+
+        stab_mask_r = (lefts_for_right_order <= center) & (rights_sorted >= center)
+        left_mask_r = rights_sorted < center
+        right_mask_r = lefts_for_right_order > center
+
+        node.stab_ids_by_left = ids_by_left[stab_mask_l]
+        node.stab_lefts = lefts_sorted[stab_mask_l]
+        node.stab_ids_by_right = ids_by_right[stab_mask_r]
+        node.stab_rights = rights_sorted[stab_mask_r]
+
+        if self._weighted:
+            node.stab_weight_by_left = np.cumsum(self._weights[node.stab_ids_by_left])
+            node.stab_weight_by_right = np.cumsum(self._weights[node.stab_ids_by_right])
+            node.subtree_weight_by_left = np.cumsum(self._weights[node.subtree_ids_by_left])
+            node.subtree_weight_by_right = np.cumsum(self._weights[node.subtree_ids_by_right])
+
+        height = depth
+        left_ids_l = ids_by_left[left_mask_l]
+        if left_ids_l.shape[0]:
+            node.left, child_height = self._build_node(
+                left_ids_l, ids_by_right[left_mask_r], depth + 1
+            )
+            height = max(height, child_height)
+        right_ids_l = ids_by_left[right_mask_l]
+        if right_ids_l.shape[0]:
+            node.right, child_height = self._build_node(
+                right_ids_l, ids_by_right[right_mask_r], depth + 1
+            )
+            height = max(height, child_height)
+        return node, height
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Optional[AITNode]:
+        """Root node of the tree (None when every interval was deleted)."""
+        return self._root
+
+    @property
+    def height(self) -> int:
+        """Current height of the tree (number of levels)."""
+        return self._height
+
+    @property
+    def size(self) -> int:
+        """Number of currently active (non-deleted) intervals, including pooled ones."""
+        return self._active_count
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when the tree carries cumulative weight arrays (AWIT)."""
+        return self._weighted
+
+    @property
+    def rebuild_count(self) -> int:
+        """How many times the tree has been (re)built, including the initial build."""
+        return self._rebuild_count
+
+    @property
+    def pending_pool_size(self) -> int:
+        """Number of intervals waiting in the batch-insertion pool."""
+        return len(self._pool)
+
+    @property
+    def batch_pool_capacity(self) -> int:
+        """Capacity of the batch-insertion pool (the paper's ``O(log^2 n)`` rule)."""
+        if self._explicit_pool_size is not None:
+            return max(1, int(self._explicit_pool_size))
+        n = max(2, self._active_count)
+        return max(16, int(math.ceil(math.log2(n)) ** 2))
+
+    def interval(self, interval_id: int) -> Interval:
+        """Materialise the interval with the given id from the tree's own columns."""
+        i = int(interval_id)
+        if i < 0 or i >= self._lefts.shape[0] or i in self._deleted:
+            raise KeyError(f"interval id {interval_id} is not active in this tree")
+        return Interval(float(self._lefts[i]), float(self._rights[i]), float(self._weights[i]))
+
+    def iter_nodes(self) -> Iterator[AITNode]:
+        """Depth-first iteration over every node of the tree."""
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+
+    def node_count(self) -> int:
+        """Number of nodes in the tree."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the tree structure in bytes."""
+        total = sum(node.nbytes() for node in self.iter_nodes())
+        total += int(self._lefts.nbytes + self._rights.nbytes + self._weights.nbytes)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # record collection (the candidate-computation phase of Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def collect_records(self, query: QueryLike) -> list[NodeRecord]:
+        """Collect the node records describing ``q ∩ X`` (pooled inserts excluded).
+
+        This is the first phase of Algorithm 1: a root-to-leaf walk that, per
+        visited node, runs at most one binary search and appends at most one
+        record — except for the single *case 3* node (query straddles the
+        node's center), which contributes up to three records and terminates
+        the walk.
+        """
+        query_left, query_right = self._coerce(query)
+        records: list[NodeRecord] = []
+        node = self._root
+        while node is not None:
+            if query_right < node.center:
+                # Case 1: every stab interval whose left endpoint is <= q.r overlaps q.
+                hi = int(np.searchsorted(node.stab_lefts, query_right, side="right")) - 1
+                if hi >= 0:
+                    records.append(self._make_record(node, ListKind.STAB_BY_LEFT, 0, hi))
+                node = node.left
+            elif node.center < query_left:
+                # Case 2: every stab interval whose right endpoint is >= q.l overlaps q.
+                lo = int(np.searchsorted(node.stab_rights, query_left, side="left"))
+                if lo < node.stab_rights.shape[0]:
+                    records.append(
+                        self._make_record(
+                            node, ListKind.STAB_BY_RIGHT, lo, node.stab_rights.shape[0] - 1
+                        )
+                    )
+                node = node.right
+            else:
+                # Case 3: q straddles the center; all stab intervals overlap q and the
+                # children's subtree lists finish the job.  At most one node ever
+                # reaches this branch (it ends the traversal).
+                if node.stab_count:
+                    records.append(
+                        self._make_record(node, ListKind.STAB_BY_LEFT, 0, node.stab_count - 1)
+                    )
+                if node.left is not None:
+                    child = node.left
+                    lo = int(np.searchsorted(child.subtree_rights, query_left, side="left"))
+                    if lo < child.subtree_rights.shape[0]:
+                        records.append(
+                            self._make_record(
+                                child,
+                                ListKind.SUBTREE_BY_RIGHT,
+                                lo,
+                                child.subtree_rights.shape[0] - 1,
+                            )
+                        )
+                if node.right is not None:
+                    child = node.right
+                    hi = int(np.searchsorted(child.subtree_lefts, query_right, side="right")) - 1
+                    if hi >= 0:
+                        records.append(
+                            self._make_record(child, ListKind.SUBTREE_BY_LEFT, 0, hi)
+                        )
+                break
+        return records
+
+    def _make_record(self, node: AITNode, kind: ListKind, lo: int, hi: int) -> NodeRecord:
+        if self._weighted:
+            weight = range_weight(node.list_weight_prefix(kind), lo, hi)
+        else:
+            weight = float(hi - lo + 1)
+        return NodeRecord(node, kind, lo, hi, weight)
+
+    def _pool_match_ids(self, query_left: float, query_right: float) -> np.ndarray:
+        """Ids of pooled (not yet indexed) intervals overlapping the query."""
+        if not self._pool:
+            return np.empty(0, dtype=np.int64)
+        ids = np.asarray(self._pool, dtype=np.int64)
+        mask = (self._lefts[ids] <= query_right) & (query_left <= self._rights[ids])
+        return ids[mask]
+
+    # ------------------------------------------------------------------ #
+    # counting / reporting
+    # ------------------------------------------------------------------ #
+    def count(self, query: QueryLike) -> int:
+        """Exact ``|q ∩ X|`` in O(log^2 n) time (Corollary 1)."""
+        query_left, query_right = self._coerce(query)
+        records = self.collect_records((query_left, query_right))
+        total = sum(rec.count for rec in records)
+        total += int(self._pool_match_ids(query_left, query_right).shape[0])
+        return total
+
+    def report(self, query: QueryLike) -> np.ndarray:
+        """Ids of all intervals overlapping ``query`` (range reporting)."""
+        query_left, query_right = self._coerce(query)
+        records = self.collect_records((query_left, query_right))
+        chunks = [rec.interval_ids() for rec in records]
+        pool_ids = self._pool_match_ids(query_left, query_right)
+        if pool_ids.shape[0]:
+            chunks.append(pool_ids)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks).astype(np.int64, copy=False)
+
+    def report_intervals(self, query: QueryLike) -> list[Interval]:
+        """Overlapping intervals as :class:`Interval` objects."""
+        return [self.interval(int(i)) for i in self.report(query)]
+
+    # ------------------------------------------------------------------ #
+    # independent range sampling (second phase of Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def sample(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> np.ndarray:
+        """Draw ``sample_size`` interval ids uniformly and independently from ``q ∩ X``."""
+        query_pair = self._coerce(query)
+        sample_size = self._validate_sample_size(sample_size)
+        records = self.collect_records(query_pair)
+        pool_ids = self._pool_match_ids(*query_pair)
+        return self._sample_from_records(
+            records, pool_ids, sample_size, resolve_rng(random_state), on_empty, query_pair
+        )
+
+    def _sample_from_records(
+        self,
+        records: Sequence[NodeRecord],
+        pool_ids: np.ndarray,
+        sample_size: int,
+        rng: np.random.Generator,
+        on_empty: OnEmpty,
+        query_pair: tuple[float, float],
+    ) -> np.ndarray:
+        weights = [rec.weight for rec in records]
+        if pool_ids.shape[0]:
+            pool_weight = (
+                float(self._weights[pool_ids].sum()) if self._weighted else float(pool_ids.shape[0])
+            )
+            weights.append(pool_weight)
+        if not weights or sum(weights) <= 0:
+            empty = self._handle_empty(sample_size, on_empty, query_pair)
+            return empty
+        if sample_size == 0:
+            return np.empty(0, dtype=np.int64)
+
+        alias = AliasTable(weights)
+        choices = alias.sample_many(sample_size, rng)
+        result = np.empty(sample_size, dtype=np.int64)
+        for index, record in enumerate(records):
+            mask = choices == index
+            hits = int(mask.sum())
+            if hits == 0:
+                continue
+            result[mask] = self._draw_within_record(record, hits, rng)
+        if pool_ids.shape[0]:
+            mask = choices == len(records)
+            hits = int(mask.sum())
+            if hits:
+                result[mask] = self._draw_from_pool(pool_ids, hits, rng)
+        return result
+
+    def _draw_within_record(
+        self, record: NodeRecord, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Positions inside the record, mapped to interval ids.
+
+        Unweighted trees draw positions uniformly (O(1) per draw); weighted
+        trees draw proportionally to interval weight via a binary search on
+        the node's cumulative weight array (O(log n) per draw), which is the
+        cumulative-sum method of Section II-C applied to a precomputed prefix.
+        """
+        if not self._weighted:
+            offsets = rng.integers(record.lo, record.hi + 1, size=count)
+            return record.node.list_ids(record.kind)[offsets].astype(np.int64, copy=False)
+        prefix = record.node.list_weight_prefix(record.kind)
+        before = float(prefix[record.lo - 1]) if record.lo > 0 else 0.0
+        total = float(prefix[record.hi]) - before
+        thresholds = before + rng.random(count) * total
+        window = prefix[record.lo : record.hi + 1]
+        offsets = np.searchsorted(window, thresholds, side="left") + record.lo
+        offsets = np.minimum(offsets, record.hi)
+        return record.node.list_ids(record.kind)[offsets].astype(np.int64, copy=False)
+
+    def _draw_from_pool(
+        self, pool_ids: np.ndarray, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        positions = rng.integers(0, pool_ids.shape[0], size=count)
+        return pool_ids[positions]
+
+    def sample_intervals(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> list[Interval]:
+        """Like :meth:`sample` but returns :class:`Interval` objects."""
+        ids = self.sample(query, sample_size, random_state=random_state, on_empty=on_empty)
+        return [self.interval(int(i)) for i in ids]
+
+    # ------------------------------------------------------------------ #
+    # updates (Section III-D) — implemented in repro.core.updates
+    # ------------------------------------------------------------------ #
+    def insert(self, interval: Interval | tuple[float, float], immediate: bool = False) -> int:
+        """Insert a new interval and return its id.
+
+        By default the interval joins the batch-insertion pool and is merged
+        into the tree once the pool reaches its ``O(log^2 n)`` capacity;
+        queries issued in the meantime still see it (the pool is scanned,
+        which is the paper's amortisation strategy).  Pass ``immediate=True``
+        for the one-by-one insertion path.
+        """
+        from .updates import insert_immediate, insert_pooled
+
+        if self._weighted:
+            raise StructureStateError("the weighted AWIT does not support updates (Section IV-A)")
+        if immediate:
+            return insert_immediate(self, interval)
+        return insert_pooled(self, interval)
+
+    def flush_pool(self) -> int:
+        """Merge all pooled insertions into the tree; return how many were merged."""
+        from .updates import flush_pool
+
+        return flush_pool(self)
+
+    def delete(self, interval_id: int) -> bool:
+        """Delete the interval with the given id; return True when it was present."""
+        from .updates import delete_interval
+
+        if self._weighted:
+            raise StructureStateError("the weighted AWIT does not support updates (Section IV-A)")
+        return delete_interval(self, interval_id)
+
+    # ------------------------------------------------------------------ #
+    # invariants (used by the test-suite; cheap enough to run on demand)
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Validate the structural invariants of the tree; raise AssertionError on violation."""
+        for node in self.iter_nodes():
+            stab_left = self._lefts[node.stab_ids_by_left]
+            stab_right = self._rights[node.stab_ids_by_left]
+            assert np.all(stab_left <= node.center) and np.all(stab_right >= node.center), (
+                "stab list must contain exactly the intervals overlapping the center"
+            )
+            assert np.all(np.diff(node.stab_lefts) >= 0), "L^l must be sorted by left endpoint"
+            assert np.all(np.diff(node.stab_rights) >= 0), "L^r must be sorted by right endpoint"
+            assert np.all(np.diff(node.subtree_lefts) >= 0), "AL^l must be sorted by left endpoint"
+            assert np.all(np.diff(node.subtree_rights) >= 0), (
+                "AL^r must be sorted by right endpoint"
+            )
+            assert set(node.stab_ids_by_left.tolist()) == set(node.stab_ids_by_right.tolist())
+            assert set(node.subtree_ids_by_left.tolist()) == set(
+                node.subtree_ids_by_right.tolist()
+            )
+            if node.left is not None:
+                assert np.all(self._rights[node.left.subtree_ids_by_left] < node.center), (
+                    "left subtree intervals must end before the center"
+                )
+            if node.right is not None:
+                assert np.all(self._lefts[node.right.subtree_ids_by_left] > node.center), (
+                    "right subtree intervals must start after the center"
+                )
+            subtree = set(node.subtree_ids_by_left.tolist())
+            children = set(node.stab_ids_by_left.tolist())
+            if node.left is not None:
+                children |= set(node.left.subtree_ids_by_left.tolist())
+            if node.right is not None:
+                children |= set(node.right.subtree_ids_by_left.tolist())
+            assert subtree == children, "AL lists must equal stab list plus child AL lists"

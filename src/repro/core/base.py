@@ -1,0 +1,157 @@
+"""Abstract interfaces implemented by every interval index in the library.
+
+The experiment harness and the tests treat indexes uniformly through these
+interfaces: every structure can *report* and *count* the intervals overlapping
+a query, and sampling-capable structures can additionally draw ``s``
+independent random samples.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from .dataset import IntervalDataset
+from .errors import EmptyResultError
+from .interval import Interval
+from .query import QueryLike, coerce_query, validate_sample_size
+from ..sampling.rng import RandomState
+
+__all__ = ["IntervalIndex", "SamplingIndex", "OnEmpty"]
+
+#: Accepted values for the ``on_empty`` argument of sampling methods.
+OnEmpty = str  # "empty" | "raise"
+
+
+class IntervalIndex(abc.ABC):
+    """Base class for structures answering range queries over an interval dataset."""
+
+    def __init__(self, dataset: IntervalDataset) -> None:
+        dataset.require_nonempty()
+        self._dataset = dataset
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dataset(self) -> IntervalDataset:
+        """The dataset this index was built over."""
+        return self._dataset
+
+    @property
+    def size(self) -> int:
+        """Number of intervals currently indexed."""
+        return len(self._dataset)
+
+    @classmethod
+    def from_intervals(cls, intervals: Sequence[Interval], **kwargs) -> "IntervalIndex":
+        """Build the index from a sequence of :class:`Interval` objects."""
+        return cls(IntervalDataset.from_intervals(intervals), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def report(self, query: QueryLike) -> np.ndarray:
+        """Return the ids of all intervals overlapping ``query`` (range reporting)."""
+
+    def count(self, query: QueryLike) -> int:
+        """Return ``|q ∩ X|``.  Default implementation falls back to reporting."""
+        return int(self.report(query).shape[0])
+
+    def report_intervals(self, query: QueryLike) -> list[Interval]:
+        """Return the overlapping intervals as :class:`Interval` objects."""
+        return [self._dataset[int(i)] for i in self.report(query)]
+
+    # ------------------------------------------------------------------ #
+    # shared helpers for subclasses
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(query: QueryLike) -> tuple[float, float]:
+        return coerce_query(query)
+
+    @staticmethod
+    def _handle_empty(sample_size: int, on_empty: OnEmpty, query: tuple[float, float]) -> np.ndarray:
+        """Return the empty-result value or raise, depending on ``on_empty``."""
+        if on_empty == "raise":
+            raise EmptyResultError(f"query [{query[0]}, {query[1]}] matched no intervals")
+        if on_empty != "empty":
+            raise ValueError(f"on_empty must be 'empty' or 'raise', got {on_empty!r}")
+        return np.empty(0, dtype=np.int64)
+
+
+class SamplingIndex(IntervalIndex):
+    """An interval index that supports independent range sampling."""
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> np.ndarray:
+        """Draw ``sample_size`` interval ids from ``q ∩ X`` (with replacement).
+
+        For unweighted structures every member of ``q ∩ X`` has probability
+        ``1 / |q ∩ X|`` per draw; for weighted structures the probability is
+        ``w(x) / W(q ∩ X)``.  When ``q ∩ X`` is empty, an empty array is
+        returned (``on_empty='empty'``) or :class:`EmptyResultError` is raised
+        (``on_empty='raise'``).
+        """
+
+    def sample_intervals(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> list[Interval]:
+        """Like :meth:`sample` but returns :class:`Interval` objects."""
+        ids = self.sample(query, sample_size, random_state=random_state, on_empty=on_empty)
+        return [self._dataset[int(i)] for i in ids]
+
+    def sample_distinct(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+    ) -> np.ndarray:
+        """Draw up to ``sample_size`` *distinct* interval ids from ``q ∩ X``.
+
+        Sampling without replacement is not part of the paper's problem
+        statement (Problems 1 and 2 sample with replacement) but is a common
+        application need; this default implementation draws with replacement
+        and discards duplicates, falling back to reporting the full result set
+        when ``sample_size`` approaches ``|q ∩ X|``.  The returned ids are in
+        random order and each subset of size ``k = min(sample_size, |q ∩ X|)``
+        is equally likely for unweighted structures.
+        """
+        from .query import validate_sample_size as _validate
+        from ..sampling.rng import resolve_rng
+
+        sample_size = _validate(sample_size)
+        if sample_size == 0:
+            return np.empty(0, dtype=np.int64)
+        rng = resolve_rng(random_state)
+        population = int(self.count(query))
+        if population == 0:
+            return np.empty(0, dtype=np.int64)
+        if sample_size * 2 >= population:
+            # Dense request: materialise the result and subsample directly.
+            result = self.report(query)
+            take = min(sample_size, result.shape[0])
+            return rng.choice(result, size=take, replace=False)
+        seen: list[int] = []
+        seen_set: set[int] = set()
+        while len(seen) < sample_size:
+            batch = self.sample(query, sample_size, random_state=rng)
+            for interval_id in batch.tolist():
+                if interval_id not in seen_set:
+                    seen_set.add(interval_id)
+                    seen.append(interval_id)
+                    if len(seen) == sample_size:
+                        break
+        return np.asarray(seen, dtype=np.int64)
+
+    @staticmethod
+    def _validate_sample_size(sample_size: int) -> int:
+        return validate_sample_size(sample_size)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the public API derive from :class:`ReproError`, so
+callers can catch a single type when they do not care about the specific
+failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidIntervalError",
+    "InvalidQueryError",
+    "InvalidWeightError",
+    "EmptyDatasetError",
+    "EmptyResultError",
+    "StructureStateError",
+    "UnsupportedOperationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class InvalidIntervalError(ReproError, ValueError):
+    """An interval is malformed (e.g. left endpoint greater than right)."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A query interval or sample size is malformed."""
+
+
+class InvalidWeightError(ReproError, ValueError):
+    """A weight is malformed (non-finite, negative, or missing)."""
+
+
+class EmptyDatasetError(ReproError, ValueError):
+    """An index was asked to be built over an empty interval collection."""
+
+
+class EmptyResultError(ReproError, LookupError):
+    """A sampling query matched no intervals and ``on_empty='raise'``."""
+
+
+class StructureStateError(ReproError, RuntimeError):
+    """An index is in a state that does not support the requested operation."""
+
+
+class UnsupportedOperationError(ReproError, NotImplementedError):
+    """The requested operation is not supported by this structure."""

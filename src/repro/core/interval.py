@@ -1,0 +1,175 @@
+"""Interval value type and interval algebra helpers.
+
+An interval ``x`` is a pair ``[x.left, x.right]`` with ``x.left <= x.right``.
+Two intervals *overlap* when ``x.left <= y.right and y.left <= x.right``
+(closed-interval semantics, exactly as in the paper).  The module also exposes
+free functions mirroring the predicates so callers working with plain floats
+do not need to allocate :class:`Interval` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from .errors import InvalidIntervalError, InvalidWeightError
+
+__all__ = [
+    "Interval",
+    "overlaps",
+    "contains_point",
+    "covers",
+    "intersection_length",
+    "union_span",
+    "validate_endpoints",
+]
+
+
+def validate_endpoints(left: float, right: float) -> None:
+    """Raise :class:`InvalidIntervalError` unless ``left <= right`` and both are finite."""
+    if not (math.isfinite(left) and math.isfinite(right)):
+        raise InvalidIntervalError(
+            f"interval endpoints must be finite, got [{left!r}, {right!r}]"
+        )
+    if left > right:
+        raise InvalidIntervalError(
+            f"interval left endpoint must not exceed right endpoint, got [{left!r}, {right!r}]"
+        )
+
+
+def overlaps(a_left: float, a_right: float, b_left: float, b_right: float) -> bool:
+    """Return True when ``[a_left, a_right]`` and ``[b_left, b_right]`` intersect."""
+    return a_left <= b_right and b_left <= a_right
+
+
+def contains_point(left: float, right: float, point: float) -> bool:
+    """Return True when ``point`` lies inside ``[left, right]`` (a stabbing hit)."""
+    return left <= point <= right
+
+
+def covers(outer_left: float, outer_right: float, inner_left: float, inner_right: float) -> bool:
+    """Return True when the outer interval fully contains the inner interval."""
+    return outer_left <= inner_left and inner_right <= outer_right
+
+
+def intersection_length(a_left: float, a_right: float, b_left: float, b_right: float) -> float:
+    """Length of the intersection of the two intervals, or 0.0 when disjoint."""
+    lo = max(a_left, b_left)
+    hi = min(a_right, b_right)
+    return hi - lo if hi > lo else 0.0
+
+
+def union_span(intervals: Iterable["Interval"]) -> "Interval":
+    """Smallest interval covering every interval in ``intervals``.
+
+    Raises :class:`InvalidIntervalError` when the iterable is empty.
+    """
+    lo = math.inf
+    hi = -math.inf
+    seen = False
+    for x in intervals:
+        seen = True
+        if x.left < lo:
+            lo = x.left
+        if x.right > hi:
+            hi = x.right
+    if not seen:
+        raise InvalidIntervalError("union_span() of an empty collection is undefined")
+    return Interval(lo, hi)
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval ``[left, right]`` with an optional weight and payload.
+
+    Parameters
+    ----------
+    left, right:
+        Endpoints, ``left <= right``.  Degenerate (point) intervals with
+        ``left == right`` are allowed; they behave as stabbing points.
+    weight:
+        Non-negative sampling weight used by the weighted IRS problem
+        (Problem 2 in the paper).  Defaults to ``1.0``.
+    data:
+        Arbitrary user payload carried along with the interval (e.g. a taxi
+        trip id).  It does not participate in equality or hashing beyond the
+        default dataclass semantics.
+    """
+
+    left: float
+    right: float
+    weight: float = 1.0
+    data: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        validate_endpoints(self.left, self.right)
+        if not math.isfinite(self.weight) or self.weight < 0:
+            raise InvalidWeightError(
+                f"interval weight must be finite and non-negative, got {self.weight!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> float:
+        """Length of the interval (0 for point intervals)."""
+        return self.right - self.left
+
+    @property
+    def midpoint(self) -> float:
+        """Midpoint of the interval."""
+        return (self.left + self.right) / 2.0
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when this interval intersects ``other``."""
+        return overlaps(self.left, self.right, other.left, other.right)
+
+    def contains_point(self, point: float) -> bool:
+        """True when ``point`` falls inside this interval."""
+        return contains_point(self.left, self.right, point)
+
+    def covers(self, other: "Interval") -> bool:
+        """True when this interval fully contains ``other``."""
+        return covers(self.left, self.right, other.left, other.right)
+
+    def intersection_length(self, other: "Interval") -> float:
+        """Length of the overlap with ``other`` (0.0 when disjoint)."""
+        return intersection_length(self.left, self.right, other.left, other.right)
+
+    def shifted(self, delta: float) -> "Interval":
+        """A copy of this interval translated by ``delta``."""
+        return Interval(self.left + delta, self.right + delta, self.weight, self.data)
+
+    def scaled(self, factor: float, origin: float = 0.0) -> "Interval":
+        """A copy scaled about ``origin`` by a non-negative ``factor``."""
+        if factor < 0:
+            raise InvalidIntervalError("scale factor must be non-negative")
+        lo = origin + (self.left - origin) * factor
+        hi = origin + (self.right - origin) * factor
+        return Interval(lo, hi, self.weight, self.data)
+
+    def with_weight(self, weight: float) -> "Interval":
+        """A copy of this interval carrying ``weight``."""
+        return Interval(self.left, self.right, weight, self.data)
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def as_tuple(self) -> tuple[float, float]:
+        """The ``(left, right)`` endpoint pair."""
+        return (self.left, self.right)
+
+    def as_point(self) -> tuple[float, float]:
+        """The 2-D mapping ``(left, right)`` used by the KDS baseline."""
+        return (self.left, self.right)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.weight != 1.0:
+            return f"[{self.left}, {self.right}] (w={self.weight})"
+        return f"[{self.left}, {self.right}]"

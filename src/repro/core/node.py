@@ -1,0 +1,201 @@
+"""Node structure shared by the AIT and AWIT indexes.
+
+Each node of an (augmented, weighted) interval tree stores, per the paper:
+
+* ``center`` — the node's central point ``c_i``;
+* the *stab lists* ``L^l`` / ``L^r`` — ids of intervals containing ``center``,
+  sorted by left / right endpoint;
+* the *subtree lists* ``AL^l`` / ``AL^r`` — ids of **all** intervals stored in
+  the subtree rooted at the node, sorted by left / right endpoint (this is the
+  augmentation that distinguishes the AIT from a plain interval tree);
+* (AWIT only) inclusive prefix sums of weights aligned with each list.
+
+Endpoint arrays are stored alongside every id list so that the binary searches
+in Algorithm 1 can run directly via ``numpy.searchsorted`` without touching
+the dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .records import ListKind
+
+__all__ = ["AITNode", "ID_DTYPE"]
+
+#: Integer dtype used for interval ids inside node lists.
+ID_DTYPE = np.int64
+
+
+class AITNode:
+    """One node of an AIT / AWIT.
+
+    The node is a plain data holder; all query logic lives in
+    :class:`~repro.core.ait.AIT`.  ``weighted`` nodes additionally carry
+    inclusive prefix-sum arrays of interval weights for each of the four
+    lists.
+    """
+
+    __slots__ = (
+        "center",
+        "stab_ids_by_left",
+        "stab_lefts",
+        "stab_ids_by_right",
+        "stab_rights",
+        "subtree_ids_by_left",
+        "subtree_lefts",
+        "subtree_ids_by_right",
+        "subtree_rights",
+        "stab_weight_by_left",
+        "stab_weight_by_right",
+        "subtree_weight_by_left",
+        "subtree_weight_by_right",
+        "left",
+        "right",
+    )
+
+    def __init__(self, center: float) -> None:
+        self.center = float(center)
+        empty_ids = np.empty(0, dtype=ID_DTYPE)
+        empty_vals = np.empty(0, dtype=np.float64)
+        self.stab_ids_by_left = empty_ids
+        self.stab_lefts = empty_vals
+        self.stab_ids_by_right = empty_ids
+        self.stab_rights = empty_vals
+        self.subtree_ids_by_left = empty_ids
+        self.subtree_lefts = empty_vals
+        self.subtree_ids_by_right = empty_ids
+        self.subtree_rights = empty_vals
+        self.stab_weight_by_left: Optional[np.ndarray] = None
+        self.stab_weight_by_right: Optional[np.ndarray] = None
+        self.subtree_weight_by_left: Optional[np.ndarray] = None
+        self.subtree_weight_by_right: Optional[np.ndarray] = None
+        self.left: Optional["AITNode"] = None
+        self.right: Optional["AITNode"] = None
+
+    # ------------------------------------------------------------------ #
+    # list accessors keyed by ListKind
+    # ------------------------------------------------------------------ #
+    def list_ids(self, kind: ListKind) -> np.ndarray:
+        """Interval ids of the list identified by ``kind`` (in list order)."""
+        if kind == ListKind.STAB_BY_LEFT:
+            return self.stab_ids_by_left
+        if kind == ListKind.STAB_BY_RIGHT:
+            return self.stab_ids_by_right
+        if kind == ListKind.SUBTREE_BY_RIGHT:
+            return self.subtree_ids_by_right
+        if kind == ListKind.SUBTREE_BY_LEFT:
+            return self.subtree_ids_by_left
+        raise ValueError(f"unknown list kind {kind!r}")
+
+    def list_weight_prefix(self, kind: ListKind) -> np.ndarray:
+        """Inclusive weight prefix sums of the list identified by ``kind`` (AWIT only)."""
+        prefix = {
+            ListKind.STAB_BY_LEFT: self.stab_weight_by_left,
+            ListKind.STAB_BY_RIGHT: self.stab_weight_by_right,
+            ListKind.SUBTREE_BY_RIGHT: self.subtree_weight_by_right,
+            ListKind.SUBTREE_BY_LEFT: self.subtree_weight_by_left,
+        }[kind]
+        if prefix is None:
+            raise ValueError("this node carries no weight prefix arrays (unweighted AIT)")
+        return prefix
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def stab_count(self) -> int:
+        """Number of intervals whose span contains this node's center."""
+        return int(self.stab_ids_by_left.shape[0])
+
+    @property
+    def subtree_count(self) -> int:
+        """Number of intervals stored in the subtree rooted at this node."""
+        return int(self.subtree_ids_by_left.shape[0])
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return self.left is None and self.right is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AITNode(center={self.center}, stab={self.stab_count}, "
+            f"subtree={self.subtree_count}, leaf={self.is_leaf})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # mutation helpers used by the update path (Section III-D)
+    # ------------------------------------------------------------------ #
+    def insert_into_stab(self, interval_id: int, left: float, right: float) -> None:
+        """Insert an interval into the stab lists, preserving both sort orders."""
+        pos_l = int(np.searchsorted(self.stab_lefts, left, side="right"))
+        self.stab_ids_by_left = np.insert(self.stab_ids_by_left, pos_l, interval_id)
+        self.stab_lefts = np.insert(self.stab_lefts, pos_l, left)
+        pos_r = int(np.searchsorted(self.stab_rights, right, side="right"))
+        self.stab_ids_by_right = np.insert(self.stab_ids_by_right, pos_r, interval_id)
+        self.stab_rights = np.insert(self.stab_rights, pos_r, right)
+
+    def insert_into_subtree(self, interval_id: int, left: float, right: float) -> None:
+        """Insert an interval into the subtree (AL) lists, preserving both sort orders."""
+        pos_l = int(np.searchsorted(self.subtree_lefts, left, side="right"))
+        self.subtree_ids_by_left = np.insert(self.subtree_ids_by_left, pos_l, interval_id)
+        self.subtree_lefts = np.insert(self.subtree_lefts, pos_l, left)
+        pos_r = int(np.searchsorted(self.subtree_rights, right, side="right"))
+        self.subtree_ids_by_right = np.insert(self.subtree_ids_by_right, pos_r, interval_id)
+        self.subtree_rights = np.insert(self.subtree_rights, pos_r, right)
+
+    def remove_from_stab(self, interval_id: int) -> bool:
+        """Remove an interval id from the stab lists; return True when found."""
+        found = False
+        mask = self.stab_ids_by_left != interval_id
+        if not mask.all():
+            found = True
+            self.stab_ids_by_left = self.stab_ids_by_left[mask]
+            self.stab_lefts = self.stab_lefts[mask]
+        mask = self.stab_ids_by_right != interval_id
+        if not mask.all():
+            self.stab_ids_by_right = self.stab_ids_by_right[mask]
+            self.stab_rights = self.stab_rights[mask]
+        return found
+
+    def remove_from_subtree(self, interval_id: int) -> bool:
+        """Remove an interval id from the subtree lists; return True when found."""
+        found = False
+        mask = self.subtree_ids_by_left != interval_id
+        if not mask.all():
+            found = True
+            self.subtree_ids_by_left = self.subtree_ids_by_left[mask]
+            self.subtree_lefts = self.subtree_lefts[mask]
+        mask = self.subtree_ids_by_right != interval_id
+        if not mask.all():
+            self.subtree_ids_by_right = self.subtree_ids_by_right[mask]
+            self.subtree_rights = self.subtree_rights[mask]
+        return found
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def nbytes(self) -> int:
+        """Approximate memory footprint of this node's arrays in bytes."""
+        total = 0
+        for name in (
+            "stab_ids_by_left",
+            "stab_lefts",
+            "stab_ids_by_right",
+            "stab_rights",
+            "subtree_ids_by_left",
+            "subtree_lefts",
+            "subtree_ids_by_right",
+            "subtree_rights",
+            "stab_weight_by_left",
+            "stab_weight_by_right",
+            "subtree_weight_by_left",
+            "subtree_weight_by_right",
+        ):
+            arr = getattr(self, name)
+            if arr is not None:
+                total += int(arr.nbytes)
+        return total + 64  # object / pointer overhead estimate

@@ -1,0 +1,63 @@
+"""Query-argument coercion and validation.
+
+Every public query method in the library accepts the query interval either as
+an :class:`~repro.core.interval.Interval` or as a plain ``(left, right)``
+pair, and a sample size ``s``.  These helpers normalise and validate those
+arguments in one place so all indexes behave identically on malformed input.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+from .errors import InvalidQueryError
+from .interval import Interval
+
+__all__ = ["QueryLike", "coerce_query", "validate_sample_size"]
+
+#: Anything accepted as a query interval by the public API.
+QueryLike = Union[Interval, Sequence[float], tuple[float, float]]
+
+
+def coerce_query(query: QueryLike) -> tuple[float, float]:
+    """Normalise ``query`` to a validated ``(left, right)`` float pair.
+
+    Raises :class:`InvalidQueryError` when the query is not a 2-element
+    interval, has non-finite endpoints, or has ``left > right``.
+    """
+    if isinstance(query, Interval):
+        return (query.left, query.right)
+    try:
+        left, right = query  # type: ignore[misc]
+    except (TypeError, ValueError) as exc:
+        raise InvalidQueryError(
+            f"query must be an Interval or a (left, right) pair, got {query!r}"
+        ) from exc
+    try:
+        left_f = float(left)
+        right_f = float(right)
+    except (TypeError, ValueError) as exc:
+        raise InvalidQueryError(f"query endpoints must be numbers, got {query!r}") from exc
+    if not (math.isfinite(left_f) and math.isfinite(right_f)):
+        raise InvalidQueryError(f"query endpoints must be finite, got [{left_f}, {right_f}]")
+    if left_f > right_f:
+        raise InvalidQueryError(
+            f"query left endpoint must not exceed right endpoint, got [{left_f}, {right_f}]"
+        )
+    return (left_f, right_f)
+
+
+def validate_sample_size(sample_size: int) -> int:
+    """Validate and return the requested number of samples ``s`` (must be >= 0)."""
+    if isinstance(sample_size, bool) or not isinstance(sample_size, (int,)):
+        try:
+            as_int = int(sample_size)
+        except (TypeError, ValueError) as exc:
+            raise InvalidQueryError(f"sample size must be an integer, got {sample_size!r}") from exc
+        if as_int != sample_size:
+            raise InvalidQueryError(f"sample size must be an integer, got {sample_size!r}")
+        sample_size = as_int
+    if sample_size < 0:
+        raise InvalidQueryError(f"sample size must be non-negative, got {sample_size}")
+    return int(sample_size)

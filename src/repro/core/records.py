@@ -1,0 +1,76 @@
+"""Node records: the compact representation of ``q ∩ X`` produced by Algorithm 1.
+
+A *node record* identifies a contiguous run of a node's sorted interval list
+whose members all overlap the query.  The set ``R`` of node records collected
+by the AIT traversal covers ``q ∩ X`` exactly (no false positives, no false
+negatives) and the runs are pairwise disjoint, which is what makes
+alias-based sampling over records equivalent to uniform sampling over
+``q ∩ X``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .node import AITNode
+
+__all__ = ["ListKind", "NodeRecord"]
+
+
+class ListKind(enum.IntEnum):
+    """Which sorted list of the owning node a record's index range refers to.
+
+    The numbering follows the paper's encoding in Algorithm 1:
+    ``0: L^l``, ``1: L^r``, ``2: AL^r``, ``3: AL^l`` — i.e. stab lists sorted
+    by left/right endpoint and augmented (subtree) lists sorted by right/left
+    endpoint respectively.
+    """
+
+    STAB_BY_LEFT = 0
+    STAB_BY_RIGHT = 1
+    SUBTREE_BY_RIGHT = 2
+    SUBTREE_BY_LEFT = 3
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRecord:
+    """A contiguous run ``[lo, hi]`` (inclusive, 0-based) of one node list.
+
+    Attributes
+    ----------
+    node:
+        The AIT/AWIT node owning the list.
+    kind:
+        Which of the node's four sorted lists the indices refer to.
+    lo, hi:
+        Inclusive 0-based index range; ``lo <= hi`` always holds (empty
+        records are never emitted by the traversal).
+    weight:
+        Total sampling weight of the run.  For the unweighted AIT this equals
+        ``hi - lo + 1``; for the AWIT it is the weighted run total computed
+        from the node's prefix-sum arrays.
+    """
+
+    node: "AITNode"
+    kind: ListKind
+    lo: int
+    hi: int
+    weight: float
+
+    @property
+    def count(self) -> int:
+        """Number of intervals covered by this record."""
+        return self.hi - self.lo + 1
+
+    def interval_ids(self) -> np.ndarray:
+        """Dataset ids of the intervals covered by this record (in list order)."""
+        return self.node.list_ids(self.kind)[self.lo : self.hi + 1]
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo:
+            raise ValueError(f"invalid node record range [{self.lo}, {self.hi}]")

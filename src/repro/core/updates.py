@@ -1,0 +1,287 @@
+"""Insertion and deletion on the AIT (Section III-D of the paper).
+
+Three update paths are provided:
+
+* **one-by-one insertion** (:func:`insert_immediate`): traverse the tree like
+  Algorithm 1 — go left while the new interval lies fully left of the center,
+  right while fully right — updating the subtree (``AL``) lists of every
+  visited node, and finish at the first node whose center the interval stabs
+  (or at a freshly created leaf).  Each visited node's lists are kept sorted,
+  which makes a single insertion expensive (this is exactly what Table VII of
+  the paper shows);
+* **pooled / batch insertion** (:func:`insert_pooled`, :func:`flush_pool`):
+  new intervals first accumulate in a pool of capacity ``O(log^2 n)``.
+  Queries scan the pool (an ``O(log^2 n)`` overhead), and when the pool fills
+  up all pending intervals are pushed into the tree at once, re-sorting each
+  touched list a single time — the paper's amortisation trick;
+* **deletion** (:func:`delete_interval`): traverse the same path, remove the
+  id from every visited node's lists, and prune nodes left with an empty
+  subtree.
+
+The tree is rebuilt from scratch whenever its height exceeds twice the
+logarithm of the current size, preserving the ``O(log^2 n + s)`` query bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from .errors import InvalidIntervalError, InvalidWeightError
+from .interval import Interval, validate_endpoints
+from .node import AITNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ait import AIT
+
+__all__ = [
+    "insert_immediate",
+    "insert_pooled",
+    "flush_pool",
+    "delete_interval",
+    "height_limit",
+]
+
+
+def _coerce_new_interval(interval: Interval | tuple[float, float]) -> tuple[float, float, float]:
+    """Normalise an insertion argument to ``(left, right, weight)``."""
+    if isinstance(interval, Interval):
+        return (interval.left, interval.right, interval.weight)
+    try:
+        left, right = interval
+    except (TypeError, ValueError) as exc:
+        raise InvalidIntervalError(
+            f"insert expects an Interval or a (left, right) pair, got {interval!r}"
+        ) from exc
+    left_f, right_f = float(left), float(right)
+    validate_endpoints(left_f, right_f)
+    return (left_f, right_f, 1.0)
+
+
+def _append_columns(ait: "AIT", left: float, right: float, weight: float) -> int:
+    """Append a new interval to the tree's columnar storage and return its id."""
+    validate_endpoints(left, right)
+    if not math.isfinite(weight) or weight < 0:
+        raise InvalidWeightError(f"interval weight must be finite and non-negative, got {weight!r}")
+    new_id = int(ait._lefts.shape[0])
+    ait._lefts = np.append(ait._lefts, left)
+    ait._rights = np.append(ait._rights, right)
+    ait._weights = np.append(ait._weights, weight)
+    ait._active_count += 1
+    return new_id
+
+
+def height_limit(ait: "AIT") -> int:
+    """Height beyond which the tree is rebuilt to restore the O(log n) bound."""
+    n = max(2, ait.size)
+    return 2 * int(math.ceil(math.log2(n))) + 2
+
+
+def _maybe_rebuild(ait: "AIT") -> None:
+    if ait._height > height_limit(ait):
+        pending = list(ait._pool)
+        ait._pool = []
+        # Pending intervals are already in the columnar storage, so a rebuild
+        # picks them up automatically; just make sure they are not re-added.
+        del pending
+        ait._rebuild()
+
+
+# ---------------------------------------------------------------------- #
+# insertion
+# ---------------------------------------------------------------------- #
+def insert_immediate(ait: "AIT", interval: Interval | tuple[float, float]) -> int:
+    """One-by-one insertion: update every visited node's sorted lists immediately."""
+    left, right, weight = _coerce_new_interval(interval)
+    new_id = _append_columns(ait, left, right, weight)
+    depth = _descend_and_insert(ait, new_id, left, right, defer_sorting=False)
+    ait._height = max(ait._height, depth)
+    _maybe_rebuild(ait)
+    return new_id
+
+
+def insert_pooled(ait: "AIT", interval: Interval | tuple[float, float]) -> int:
+    """Batch insertion: buffer the interval and merge once the pool is full."""
+    left, right, weight = _coerce_new_interval(interval)
+    new_id = _append_columns(ait, left, right, weight)
+    ait._pool.append(new_id)
+    if len(ait._pool) >= ait.batch_pool_capacity:
+        flush_pool(ait)
+    return new_id
+
+
+def flush_pool(ait: "AIT") -> int:
+    """Merge every pooled interval into the tree, re-sorting touched lists once."""
+    pending = list(ait._pool)
+    ait._pool = []
+    if not pending:
+        return 0
+
+    touched_subtree: dict[int, tuple[AITNode, list[int]]] = {}
+    touched_stab: dict[int, tuple[AITNode, list[int]]] = {}
+    max_depth = ait._height
+
+    for interval_id in pending:
+        left = float(ait._lefts[interval_id])
+        right = float(ait._rights[interval_id])
+        depth = _descend_and_insert(
+            ait,
+            interval_id,
+            left,
+            right,
+            defer_sorting=True,
+            touched_subtree=touched_subtree,
+            touched_stab=touched_stab,
+        )
+        max_depth = max(max_depth, depth)
+
+    for node, added in touched_subtree.values():
+        _bulk_extend_subtree(ait, node, added)
+    for node, added in touched_stab.values():
+        _bulk_extend_stab(ait, node, added)
+
+    ait._height = max_depth
+    _maybe_rebuild(ait)
+    return len(pending)
+
+
+def _descend_and_insert(
+    ait: "AIT",
+    interval_id: int,
+    left: float,
+    right: float,
+    defer_sorting: bool,
+    touched_subtree: dict[int, tuple[AITNode, list[int]]] | None = None,
+    touched_stab: dict[int, tuple[AITNode, list[int]]] | None = None,
+) -> int:
+    """Walk the insertion path for one interval; return the depth reached.
+
+    With ``defer_sorting=True`` the interval is only *recorded* against the
+    nodes it touches (except freshly created leaves, whose lists are trivially
+    sorted); the caller re-sorts each touched list once afterwards.
+    """
+
+    def record_subtree(node: AITNode) -> None:
+        if defer_sorting:
+            entry = touched_subtree.setdefault(id(node), (node, []))
+            entry[1].append(interval_id)
+        else:
+            node.insert_into_subtree(interval_id, left, right)
+
+    def record_stab(node: AITNode) -> None:
+        if defer_sorting:
+            entry = touched_stab.setdefault(id(node), (node, []))
+            entry[1].append(interval_id)
+        else:
+            node.insert_into_stab(interval_id, left, right)
+
+    if ait._root is None:
+        leaf = AITNode((left + right) / 2.0)
+        leaf.insert_into_stab(interval_id, left, right)
+        leaf.insert_into_subtree(interval_id, left, right)
+        ait._root = leaf
+        return 1
+
+    node = ait._root
+    depth = 1
+    while True:
+        record_subtree(node)
+        if right < node.center:
+            if node.left is None:
+                node.left = _new_leaf(interval_id, left, right)
+                return depth + 1
+            node = node.left
+            depth += 1
+        elif node.center < left:
+            if node.right is None:
+                node.right = _new_leaf(interval_id, left, right)
+                return depth + 1
+            node = node.right
+            depth += 1
+        else:
+            record_stab(node)
+            return depth
+
+
+def _new_leaf(interval_id: int, left: float, right: float) -> AITNode:
+    leaf = AITNode((left + right) / 2.0)
+    leaf.insert_into_stab(interval_id, left, right)
+    leaf.insert_into_subtree(interval_id, left, right)
+    return leaf
+
+
+def _bulk_extend_subtree(ait: "AIT", node: AITNode, added: Iterable[int]) -> None:
+    ids = np.asarray(list(added), dtype=np.int64)
+    all_ids_left = np.concatenate((node.subtree_ids_by_left, ids))
+    all_ids_right = np.concatenate((node.subtree_ids_by_right, ids))
+    order_left = np.argsort(ait._lefts[all_ids_left], kind="stable")
+    order_right = np.argsort(ait._rights[all_ids_right], kind="stable")
+    node.subtree_ids_by_left = all_ids_left[order_left]
+    node.subtree_lefts = ait._lefts[node.subtree_ids_by_left]
+    node.subtree_ids_by_right = all_ids_right[order_right]
+    node.subtree_rights = ait._rights[node.subtree_ids_by_right]
+
+
+def _bulk_extend_stab(ait: "AIT", node: AITNode, added: Iterable[int]) -> None:
+    ids = np.asarray(list(added), dtype=np.int64)
+    all_ids_left = np.concatenate((node.stab_ids_by_left, ids))
+    all_ids_right = np.concatenate((node.stab_ids_by_right, ids))
+    order_left = np.argsort(ait._lefts[all_ids_left], kind="stable")
+    order_right = np.argsort(ait._rights[all_ids_right], kind="stable")
+    node.stab_ids_by_left = all_ids_left[order_left]
+    node.stab_lefts = ait._lefts[node.stab_ids_by_left]
+    node.stab_ids_by_right = all_ids_right[order_right]
+    node.stab_rights = ait._rights[node.stab_ids_by_right]
+
+
+# ---------------------------------------------------------------------- #
+# deletion
+# ---------------------------------------------------------------------- #
+def delete_interval(ait: "AIT", interval_id: int) -> bool:
+    """Remove the interval with id ``interval_id`` from the tree (or the pool)."""
+    try:
+        interval_id = int(interval_id)
+    except (TypeError, ValueError):
+        return False
+    if interval_id < 0 or interval_id >= ait._lefts.shape[0] or interval_id in ait._deleted:
+        return False
+
+    if interval_id in ait._pool:
+        ait._pool.remove(interval_id)
+        ait._deleted.add(interval_id)
+        ait._active_count -= 1
+        return True
+
+    left = float(ait._lefts[interval_id])
+    right = float(ait._rights[interval_id])
+    path: list[AITNode] = []
+    node = ait._root
+    found = False
+    while node is not None:
+        path.append(node)
+        node.remove_from_subtree(interval_id)
+        if left <= node.center <= right:
+            found = node.remove_from_stab(interval_id)
+            break
+        node = node.left if right < node.center else node.right
+
+    # Prune nodes whose subtree became empty, bottom-up along the path.
+    for index in range(len(path) - 1, -1, -1):
+        pruned = path[index]
+        if pruned.subtree_count > 0:
+            break
+        if index == 0:
+            ait._root = None
+            ait._height = 0
+        else:
+            parent = path[index - 1]
+            if parent.left is pruned:
+                parent.left = None
+            elif parent.right is pruned:
+                parent.right = None
+
+    ait._deleted.add(interval_id)
+    ait._active_count -= 1
+    return found

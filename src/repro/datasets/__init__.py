@@ -1,0 +1,35 @@
+"""Dataset generators, loaders, query workloads and statistics."""
+
+from .loaders import load_csv, save_csv
+from .queries import QueryWorkload, generate_queries, stabbing_queries
+from .statistics import DatasetStatistics, compute_statistics
+from .synthetic import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    attach_random_weights,
+    dataset_names,
+    generate_clustered,
+    generate_dataset,
+    generate_paper_dataset,
+    generate_point_intervals,
+    generate_uniform,
+)
+
+__all__ = [
+    "load_csv",
+    "save_csv",
+    "QueryWorkload",
+    "generate_queries",
+    "stabbing_queries",
+    "DatasetStatistics",
+    "compute_statistics",
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "attach_random_weights",
+    "dataset_names",
+    "generate_clustered",
+    "generate_dataset",
+    "generate_paper_dataset",
+    "generate_point_intervals",
+    "generate_uniform",
+]

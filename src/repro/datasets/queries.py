@@ -1,0 +1,97 @@
+"""Query workload generation.
+
+The paper's workload (Section V-A): 1,000 query intervals per experiment, the
+left endpoint drawn uniformly from the dataset domain and the interval length
+fixed to a percentage of the domain size (8% by default); the sample size is
+``s = 1000`` by default and varied in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.dataset import IntervalDataset
+from ..core.errors import InvalidQueryError
+from ..sampling.rng import RandomState, resolve_rng
+
+__all__ = ["QueryWorkload", "generate_queries", "stabbing_queries"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryWorkload:
+    """A reproducible batch of range queries over a fixed domain.
+
+    Attributes
+    ----------
+    queries:
+        The ``(left, right)`` pairs.
+    extent_fraction:
+        Query length as a fraction of the domain size.
+    domain:
+        The ``(low, high)`` domain the queries were drawn from.
+    """
+
+    queries: tuple[tuple[float, float], ...]
+    extent_fraction: float
+    domain: tuple[float, float]
+    seed: int | None = field(default=None, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> tuple[float, float]:
+        return self.queries[index]
+
+
+def generate_queries(
+    dataset: IntervalDataset | tuple[float, float],
+    count: int = 1000,
+    extent_fraction: float = 0.08,
+    random_state: RandomState = None,
+) -> QueryWorkload:
+    """Generate ``count`` queries with length ``extent_fraction`` of the domain.
+
+    ``dataset`` may be an :class:`IntervalDataset` (its domain is used) or an
+    explicit ``(low, high)`` domain pair.
+    """
+    if count <= 0:
+        raise InvalidQueryError("query count must be positive")
+    if not 0.0 < extent_fraction <= 1.0:
+        raise InvalidQueryError("extent_fraction must be in (0, 1]")
+    if isinstance(dataset, IntervalDataset):
+        domain_lo, domain_hi = dataset.domain()
+    else:
+        domain_lo, domain_hi = float(dataset[0]), float(dataset[1])
+    if domain_hi <= domain_lo:
+        raise InvalidQueryError("domain upper bound must exceed the lower bound")
+
+    rng = resolve_rng(random_state)
+    extent = (domain_hi - domain_lo) * extent_fraction
+    max_left = max(domain_hi - extent, domain_lo)
+    lefts = rng.uniform(domain_lo, max_left, size=count)
+    rights = np.minimum(lefts + extent, domain_hi)
+    queries = tuple((float(l), float(r)) for l, r in zip(lefts, rights))
+    seed = random_state if isinstance(random_state, int) else None
+    return QueryWorkload(queries, float(extent_fraction), (domain_lo, domain_hi), seed)
+
+
+def stabbing_queries(
+    dataset: IntervalDataset | tuple[float, float],
+    count: int = 1000,
+    random_state: RandomState = None,
+) -> Sequence[float]:
+    """Uniform stabbing points over the domain (used by the segment-tree tests)."""
+    if count <= 0:
+        raise InvalidQueryError("query count must be positive")
+    if isinstance(dataset, IntervalDataset):
+        domain_lo, domain_hi = dataset.domain()
+    else:
+        domain_lo, domain_hi = float(dataset[0]), float(dataset[1])
+    rng = resolve_rng(random_state)
+    return rng.uniform(domain_lo, domain_hi, size=count).tolist()

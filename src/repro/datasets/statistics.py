@@ -1,0 +1,48 @@
+"""Dataset statistics in the format of Table II of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dataset import IntervalDataset
+
+__all__ = ["DatasetStatistics", "compute_statistics"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStatistics:
+    """Cardinality, domain size and length distribution of an interval dataset."""
+
+    cardinality: int
+    domain_size: float
+    min_length: float
+    median_length: float
+    max_length: float
+    mean_length: float
+
+    def as_row(self) -> dict[str, float]:
+        """The statistics as a flat dict (one row of Table II)."""
+        return {
+            "cardinality": self.cardinality,
+            "domain_size": self.domain_size,
+            "min_length": self.min_length,
+            "median_length": self.median_length,
+            "max_length": self.max_length,
+            "mean_length": self.mean_length,
+        }
+
+
+def compute_statistics(dataset: IntervalDataset) -> DatasetStatistics:
+    """Compute the Table II statistics for ``dataset``."""
+    dataset.require_nonempty()
+    lengths = dataset.lengths()
+    return DatasetStatistics(
+        cardinality=len(dataset),
+        domain_size=dataset.domain_size(),
+        min_length=float(lengths.min()),
+        median_length=float(np.median(lengths)),
+        max_length=float(lengths.max()),
+        mean_length=float(lengths.mean()),
+    )

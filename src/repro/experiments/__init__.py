@@ -1,0 +1,47 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .config import DEFAULT_DATASETS, ExperimentConfig
+from .grid import GridCell, run_grid
+from .harness import (
+    COUNTING_ALGORITHMS,
+    NON_WEIGHTED_ALGORITHMS,
+    WEIGHTED_ALGORITHMS,
+    AlgorithmAdapter,
+    QueryTimings,
+    build_dataset,
+    build_workload,
+    make_adapters,
+    measure_build,
+    measure_counting,
+    measure_query_timings,
+)
+from .memory import deep_sizeof, structure_memory_bytes
+from .report import ExperimentResult, format_table
+from .registry import EXPERIMENTS, ExperimentEntry, list_experiments, run_all, run_experiment
+
+__all__ = [
+    "DEFAULT_DATASETS",
+    "ExperimentConfig",
+    "GridCell",
+    "run_grid",
+    "COUNTING_ALGORITHMS",
+    "NON_WEIGHTED_ALGORITHMS",
+    "WEIGHTED_ALGORITHMS",
+    "AlgorithmAdapter",
+    "QueryTimings",
+    "build_dataset",
+    "build_workload",
+    "make_adapters",
+    "measure_build",
+    "measure_counting",
+    "measure_query_timings",
+    "deep_sizeof",
+    "structure_memory_bytes",
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENTS",
+    "ExperimentEntry",
+    "list_experiments",
+    "run_all",
+    "run_experiment",
+]

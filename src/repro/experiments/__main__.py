@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.experiments`` as an alias for the CLI."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

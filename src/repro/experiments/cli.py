@@ -1,0 +1,106 @@
+"""Command-line front end: ``repro-experiments`` / ``python -m repro.experiments``.
+
+Examples
+--------
+List the available experiments::
+
+    repro-experiments --list
+
+Run one experiment at the default (laptop) scale::
+
+    repro-experiments table5
+
+Run everything at the quick smoke scale and dump CSVs::
+
+    repro-experiments all --preset smoke --csv-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .config import ExperimentConfig
+from .registry import list_experiments, run_all, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {
+    "default": ExperimentConfig.default,
+    "smoke": ExperimentConfig.smoke,
+    "paper": ExperimentConfig.paper_scale,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Independent Range Sampling on Interval Data'.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment id (e.g. table5, fig6) or 'all'; omit with --list to just list them",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument("--preset", choices=sorted(_PRESETS), default="default", help="workload scale preset")
+    parser.add_argument("--dataset-size", type=int, default=None, help="override the per-dataset cardinality")
+    parser.add_argument("--queries", type=int, default=None, help="override the number of queries")
+    parser.add_argument("--samples", type=int, default=None, help="override the sample size s")
+    parser.add_argument("--seed", type=int, default=None, help="override the root random seed")
+    parser.add_argument(
+        "--datasets", type=str, default=None, help="comma-separated dataset names (book,btc,renfe,taxi)"
+    )
+    parser.add_argument("--csv-dir", type=str, default=None, help="directory to write per-experiment CSV files")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = _PRESETS[args.preset]()
+    overrides = {}
+    if args.dataset_size is not None:
+        overrides["dataset_size"] = args.dataset_size
+    if args.queries is not None:
+        overrides["query_count"] = args.queries
+    if args.samples is not None:
+        overrides["sample_size"] = args.samples
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.datasets is not None:
+        overrides["datasets"] = tuple(name.strip() for name in args.datasets.split(",") if name.strip())
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    config = _config_from_args(args)
+    if args.experiment.lower() == "all":
+        results = run_all(config)
+    else:
+        results = [run_experiment(args.experiment, config)]
+
+    csv_dir = Path(args.csv_dir) if args.csv_dir else None
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+
+    for result in results:
+        print(result.to_text())
+        print()
+        if csv_dir is not None:
+            result.to_csv(csv_dir / f"{result.experiment_id}.csv")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Experiment configuration.
+
+Every experiment module takes an :class:`ExperimentConfig`.  The defaults are
+scaled down from the paper (pure-Python timings at 2.3M-107M intervals would
+be prohibitive and would not change the qualitative comparison); the
+``paper_scale`` preset restores the published cardinalities for users with
+the patience (and RAM) to run them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+__all__ = ["ExperimentConfig", "DEFAULT_DATASETS"]
+
+#: Dataset order used throughout the paper's tables.
+DEFAULT_DATASETS: tuple[str, ...] = ("book", "btc", "renfe", "taxi")
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Parameters shared by all experiments.
+
+    Attributes
+    ----------
+    datasets:
+        Which synthetic dataset analogues to run on.
+    dataset_size:
+        Number of intervals generated per dataset (the paper uses the full
+        cardinalities of Table II; see :meth:`paper_scale`).
+    query_count:
+        Number of queries per measurement (1,000 in the paper).
+    extent_fraction:
+        Query interval length as a fraction of the domain (8% in the paper).
+    sample_size:
+        Number of samples per query (1,000 in the paper).
+    update_count:
+        Number of insertions/deletions for the update experiment (5,000 in
+        the paper).
+    repeats:
+        Timing repetitions per measurement point.
+    seed:
+        Root seed; every dataset/workload derives a child seed from it.
+    """
+
+    datasets: Sequence[str] = DEFAULT_DATASETS
+    dataset_size: int = 100_000
+    query_count: int = 200
+    extent_fraction: float = 0.08
+    sample_size: int = 1_000
+    update_count: int = 1_000
+    repeats: int = 1
+    seed: int = 42
+    extent_sweep: Sequence[float] = (0.01, 0.04, 0.08, 0.16, 0.32)
+    sample_size_sweep: Sequence[int] = (100, 1_000, 10_000)
+    dataset_size_fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+    # ------------------------------------------------------------------ #
+    # presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def default(cls) -> "ExperimentConfig":
+        """Laptop-scale defaults used by ``repro-experiments`` and EXPERIMENTS.md."""
+        return cls()
+
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """Tiny configuration used by the pytest benchmarks (seconds, not minutes)."""
+        return cls(
+            dataset_size=20_000,
+            query_count=20,
+            sample_size=500,
+            update_count=200,
+            extent_sweep=(0.02, 0.08, 0.32),
+            sample_size_sweep=(100, 500, 2_000),
+            dataset_size_fractions=(0.25, 0.5, 1.0),
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The paper's workload sizes (very slow in pure Python; provided for completeness)."""
+        return cls(
+            dataset_size=2_000_000,
+            query_count=1_000,
+            sample_size=1_000,
+            update_count=5_000,
+        )
+
+    # ------------------------------------------------------------------ #
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def dataset_seed(self, dataset_name: str) -> int:
+        """Deterministic per-dataset seed derived from the root seed."""
+        return _stable_seed(self.seed, dataset_name, "dataset")
+
+    def query_seed(self, dataset_name: str) -> int:
+        """Deterministic per-dataset query-workload seed."""
+        return _stable_seed(self.seed, dataset_name, "queries")
+
+
+def _stable_seed(*parts) -> int:
+    """Process-independent seed derived from the given parts (unlike built-in hash)."""
+    import zlib
+
+    text = "|".join(str(part) for part in parts)
+    return (zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF) or 1

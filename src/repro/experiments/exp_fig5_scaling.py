@@ -1,0 +1,59 @@
+"""Fig. 5 — pre-processing time and memory of AIT / AIT-V vs dataset size.
+
+The paper varies the dataset size from 20% to 100% of each dataset and shows
+that both build time and memory scale (near-)linearly for AIT and AIT-V.
+"""
+
+from __future__ import annotations
+
+from ..core import AIT, AITV
+from .config import ExperimentConfig
+from .harness import build_dataset, time_seconds
+from .memory import structure_memory_bytes
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Fig. 5 is plotted on log scale without tabulated values; the qualitative
+#: reference is linear growth of both build time and memory in n.
+PAPER_REFERENCE = [
+    {"series": "AIT pre-processing time", "shape": "linear in n"},
+    {"series": "AIT-V pre-processing time", "shape": "linear in n"},
+    {"series": "AIT memory", "shape": "linear in n (better than the O(n log n) bound)"},
+    {"series": "AIT-V memory", "shape": "linear in n"},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure AIT / AIT-V build time and memory at several dataset-size fractions."""
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="Pre-processing time [sec] and memory [MB] of AIT and AIT-V vs dataset size",
+        columns=[
+            "dataset",
+            "fraction",
+            "n",
+            "ait_build_sec",
+            "ait_memory_mb",
+            "ait_v_build_sec",
+            "ait_v_memory_mb",
+        ],
+        paper_reference=PAPER_REFERENCE,
+        notes="Expected shape: every column grows roughly linearly with n.",
+    )
+    for dataset_name in config.datasets:
+        for fraction in config.dataset_size_fractions:
+            size = max(1_000, int(config.dataset_size * fraction))
+            dataset = build_dataset(config, dataset_name, size=size)
+            ait, ait_seconds = time_seconds(lambda: AIT(dataset))
+            ait_v, ait_v_seconds = time_seconds(lambda: AITV(dataset))
+            result.add_row(
+                dataset=dataset_name,
+                fraction=fraction,
+                n=size,
+                ait_build_sec=ait_seconds,
+                ait_memory_mb=structure_memory_bytes(ait) / 1e6,
+                ait_v_build_sec=ait_v_seconds,
+                ait_v_memory_mb=structure_memory_bytes(ait_v) / 1e6,
+            )
+    return result

@@ -1,0 +1,54 @@
+"""Fig. 6 — running time vs query interval length (domain extent), non-weighted case."""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig
+from .harness import (
+    NON_WEIGHTED_ALGORITHMS,
+    build_dataset,
+    build_workload,
+    make_adapters,
+    measure_build,
+    measure_query_timings,
+)
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Fig. 6 is plotted on log scale; the qualitative reference is the trend of
+#: each curve as the query extent grows from 0 to 32% of the domain.
+PAPER_REFERENCE = [
+    {"series": "Interval tree", "trend": "grows with extent (Ω(|q ∩ X|))"},
+    {"series": "HINT^m", "trend": "grows with extent (Ω(|q ∩ X|))"},
+    {"series": "KDS", "trend": "grows slightly with extent"},
+    {"series": "AIT", "trend": "flat (independent of extent)"},
+    {"series": "AIT-V", "trend": "flat (independent of extent)"},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure total query time for every competitor across the extent sweep."""
+    adapters = make_adapters(NON_WEIGHTED_ALGORITHMS, weighted=False)
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title="Running time [microsec] vs domain extent (non-weighted case)",
+        columns=["dataset", "extent_pct", *NON_WEIGHTED_ALGORITHMS],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "Expected shape: search-based algorithms grow with the extent while the "
+            "AIT family stays flat; crossover in favour of AIT happens at small extents."
+        ),
+    )
+    for dataset_name in config.datasets:
+        dataset = build_dataset(config, dataset_name)
+        indexes = {adapter.name: measure_build(adapter, dataset)[0] for adapter in adapters}
+        for extent in config.extent_sweep:
+            workload = build_workload(config, dataset, dataset_name, extent_fraction=extent)
+            row = {"dataset": dataset_name, "extent_pct": extent * 100.0}
+            for adapter in adapters:
+                timings = measure_query_timings(
+                    adapter, indexes[adapter.name], workload, config.sample_size, seed=config.seed
+                )
+                row[adapter.name] = timings.total_us
+            result.add_row(**row)
+    return result

@@ -1,0 +1,52 @@
+"""Fig. 7 — running time vs sample size ``s``, non-weighted case."""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig
+from .harness import (
+    NON_WEIGHTED_ALGORITHMS,
+    build_dataset,
+    build_workload,
+    make_adapters,
+    measure_build,
+    measure_query_timings,
+)
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+PAPER_REFERENCE = [
+    {"series": "Interval tree", "trend": "flat in s (dominated by computing q ∩ X)"},
+    {"series": "HINT^m", "trend": "flat in s (dominated by computing q ∩ X)"},
+    {"series": "KDS", "trend": "linear in s; can exceed the search-based algorithms for large s"},
+    {"series": "AIT", "trend": "linear in s; fastest overall"},
+    {"series": "AIT-V", "trend": "linear in s; close to AIT"},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure total query time for every competitor across the sample-size sweep."""
+    adapters = make_adapters(NON_WEIGHTED_ALGORITHMS, weighted=False)
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title="Running time [microsec] vs sample size (non-weighted case)",
+        columns=["dataset", "sample_size", *NON_WEIGHTED_ALGORITHMS],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "Expected shape: AIT family and KDS grow linearly with s; search-based "
+            "algorithms are insensitive to s but start far higher."
+        ),
+    )
+    for dataset_name in config.datasets:
+        dataset = build_dataset(config, dataset_name)
+        workload = build_workload(config, dataset, dataset_name)
+        indexes = {adapter.name: measure_build(adapter, dataset)[0] for adapter in adapters}
+        for sample_size in config.sample_size_sweep:
+            row = {"dataset": dataset_name, "sample_size": sample_size}
+            for adapter in adapters:
+                timings = measure_query_timings(
+                    adapter, indexes[adapter.name], workload, sample_size, seed=config.seed
+                )
+                row[adapter.name] = timings.total_us
+            result.add_row(**row)
+    return result

@@ -1,0 +1,50 @@
+"""Fig. 8 — running time vs dataset size, non-weighted case."""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig
+from .harness import (
+    NON_WEIGHTED_ALGORITHMS,
+    build_dataset,
+    build_workload,
+    make_adapters,
+    measure_build,
+    measure_query_timings,
+)
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+PAPER_REFERENCE = [
+    {"series": "Interval tree", "trend": "grows linearly with n (|q ∩ X| = Ω(n))"},
+    {"series": "HINT^m", "trend": "grows linearly with n"},
+    {"series": "KDS", "trend": "grows slowly with n (O(sqrt n))"},
+    {"series": "AIT", "trend": "insensitive to n (tens of microseconds)"},
+    {"series": "AIT-V", "trend": "insensitive to n"},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure total query time for every competitor across dataset-size fractions."""
+    adapters = make_adapters(NON_WEIGHTED_ALGORITHMS, weighted=False)
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Running time [microsec] vs dataset size (non-weighted case)",
+        columns=["dataset", "fraction", "n", *NON_WEIGHTED_ALGORITHMS],
+        paper_reference=PAPER_REFERENCE,
+        notes="Expected shape: search-based algorithms scale with n, the AIT family does not.",
+    )
+    for dataset_name in config.datasets:
+        for fraction in config.dataset_size_fractions:
+            size = max(1_000, int(config.dataset_size * fraction))
+            dataset = build_dataset(config, dataset_name, size=size)
+            workload = build_workload(config, dataset, dataset_name)
+            row = {"dataset": dataset_name, "fraction": fraction, "n": size}
+            for adapter in adapters:
+                index, _ = measure_build(adapter, dataset)
+                timings = measure_query_timings(
+                    adapter, index, workload, config.sample_size, seed=config.seed
+                )
+                row[adapter.name] = timings.total_us
+            result.add_row(**row)
+    return result

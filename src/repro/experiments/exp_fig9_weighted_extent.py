@@ -1,0 +1,48 @@
+"""Fig. 9 — running time vs query interval length (domain extent), weighted case."""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig
+from .harness import (
+    WEIGHTED_ALGORITHMS,
+    build_dataset,
+    build_workload,
+    make_adapters,
+    measure_build,
+    measure_query_timings,
+)
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+PAPER_REFERENCE = [
+    {"series": "Interval tree", "trend": "grows with extent"},
+    {"series": "HINT^m", "trend": "grows with extent"},
+    {"series": "KDS", "trend": "grows slightly with extent"},
+    {"series": "AWIT", "trend": "nearly flat; slight growth from the cumulative-sum binary search"},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure total weighted query time for every competitor across the extent sweep."""
+    adapters = make_adapters(WEIGHTED_ALGORITHMS, weighted=True)
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="Running time [microsec] vs domain extent (weighted case)",
+        columns=["dataset", "extent_pct", *WEIGHTED_ALGORITHMS],
+        paper_reference=PAPER_REFERENCE,
+        notes="Expected shape: AWIT stays orders of magnitude below the search-based algorithms.",
+    )
+    for dataset_name in config.datasets:
+        dataset = build_dataset(config, dataset_name, weighted=True)
+        indexes = {adapter.name: measure_build(adapter, dataset)[0] for adapter in adapters}
+        for extent in config.extent_sweep:
+            workload = build_workload(config, dataset, dataset_name, extent_fraction=extent)
+            row = {"dataset": dataset_name, "extent_pct": extent * 100.0}
+            for adapter in adapters:
+                timings = measure_query_timings(
+                    adapter, indexes[adapter.name], workload, config.sample_size, seed=config.seed
+                )
+                row[adapter.name] = timings.total_us
+            result.add_row(**row)
+    return result

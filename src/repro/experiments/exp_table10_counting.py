@@ -1,0 +1,48 @@
+"""Table X — range counting time: AIT vs HINT^m (counting version) vs kd-tree."""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig
+from .harness import (
+    COUNTING_ALGORITHMS,
+    build_dataset,
+    build_workload,
+    make_adapters,
+    measure_build,
+    measure_counting,
+)
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Table X of the paper (microseconds).
+PAPER_REFERENCE = [
+    {"algorithm": "AIT", "book": 0.91, "btc": 0.75, "renfe": 1.40, "taxi": 1.66},
+    {"algorithm": "HINT^m", "book": 46.60, "btc": 51.05, "renfe": 1156.20, "taxi": 3276.87},
+    {"algorithm": "kd-tree", "book": 83.55, "btc": 12.51, "renfe": 7.09, "taxi": 41.02},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure range-counting time for AIT, HINT^m and the kd-tree."""
+    adapters = make_adapters(COUNTING_ALGORITHMS, weighted=False)
+    result = ExperimentResult(
+        experiment_id="table10",
+        title="Range counting time [microsec]",
+        columns=["algorithm", *config.datasets],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "Expected shape: AIT counts in O(log^2 n) and is far below HINT^m "
+            "(which enumerates the result) and below the kd-tree's O(sqrt n) cover."
+        ),
+    )
+    rows = {name: {"algorithm": name} for name in COUNTING_ALGORITHMS}
+    for dataset_name in config.datasets:
+        dataset = build_dataset(config, dataset_name)
+        workload = build_workload(config, dataset, dataset_name)
+        for adapter in adapters:
+            index, _ = measure_build(adapter, dataset)
+            rows[adapter.name][dataset_name] = measure_counting(index, workload)
+    for name in COUNTING_ALGORITHMS:
+        result.add_row(**rows[name])
+    return result

@@ -1,0 +1,80 @@
+"""Table I — complexity comparison, checked empirically.
+
+Table I of the paper is analytic; this experiment verifies its practical
+consequence on one dataset: as ``n`` grows, the total query time of the
+search-based competitors grows roughly linearly while the AIT family stays
+flat, and the AIT's candidate time grows at most polylogarithmically.
+"""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig
+from .harness import (
+    build_dataset,
+    build_workload,
+    make_adapters,
+    measure_build,
+    measure_query_timings,
+)
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Table I of the paper (asymptotic bounds; * marks expected bounds).
+PAPER_REFERENCE = [
+    {"algorithm": "HINT^m", "time": "Ω(|q ∩ X|)", "space": "O(n)", "weighted": "yes"},
+    {"algorithm": "KDS", "time": "O(sqrt n + s)*", "space": "O(n)", "weighted": "no"},
+    {"algorithm": "KDS (weighted)", "time": "O(sqrt n + s log n)*", "space": "O(n)", "weighted": "yes"},
+    {"algorithm": "AIT", "time": "O(log^2 n + s)", "space": "O(n log n)", "weighted": "no"},
+    {"algorithm": "AIT-V", "time": "O(log^2 n + s)*", "space": "O(n)", "weighted": "no"},
+    {"algorithm": "AWIT", "time": "O(log^2 n + s log n)", "space": "O(n log n)", "weighted": "yes"},
+]
+
+#: Algorithms whose growth rate is checked.
+_CHECKED = ("interval_tree", "hint", "kds", "ait", "ait_v")
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure total query time at the smallest and largest configured sizes.
+
+    The ``growth_x`` column reports ``time(n_max) / time(n_min)``; per Table I
+    the search-based algorithms should grow roughly with ``n_max / n_min``
+    while the AIT family's ratio stays close to 1.
+    """
+    adapters = make_adapters(_CHECKED, weighted=False)
+    dataset_name = config.datasets[0]
+    fractions = (config.dataset_size_fractions[0], config.dataset_size_fractions[-1])
+    sizes = [max(1_000, int(config.dataset_size * fraction)) for fraction in fractions]
+
+    measured: dict[str, list[float]] = {name: [] for name in _CHECKED}
+    for size in sizes:
+        dataset = build_dataset(config, dataset_name, size=size)
+        workload = build_workload(config, dataset, dataset_name)
+        for adapter in adapters:
+            index, _ = measure_build(adapter, dataset)
+            timings = measure_query_timings(
+                adapter, index, workload, config.sample_size, seed=config.seed
+            )
+            measured[adapter.name].append(timings.total_us)
+
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Complexity comparison (empirical growth check on one dataset)",
+        columns=["algorithm", "time_small_us", "time_large_us", "growth_x", "size_growth_x"],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "Expected shape: growth_x of the search-based algorithms approaches "
+            "size_growth_x; growth_x of AIT / AIT-V stays near 1."
+        ),
+    )
+    size_growth = sizes[1] / sizes[0]
+    for name in _CHECKED:
+        small, large = measured[name]
+        result.add_row(
+            algorithm=name,
+            time_small_us=small,
+            time_large_us=large,
+            growth_x=large / small if small > 0 else float("inf"),
+            size_growth_x=size_growth,
+        )
+    return result

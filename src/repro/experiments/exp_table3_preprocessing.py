@@ -1,0 +1,43 @@
+"""Table III — pre-processing (index construction) time, non-weighted case."""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig
+from .grid import run_grid
+from .harness import NON_WEIGHTED_ALGORITHMS
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Table III of the paper (seconds).
+PAPER_REFERENCE = [
+    {"algorithm": "Interval tree", "book": 1.45, "btc": 2.93, "renfe": 52.62, "taxi": 147.19},
+    {"algorithm": "HINT^m", "book": 0.60, "btc": 0.20, "renfe": 3.26, "taxi": 4.67},
+    {"algorithm": "KDS", "book": 2.15, "btc": 3.43, "renfe": 36.16, "taxi": 210.36},
+    {"algorithm": "AIT", "book": 3.02, "btc": 7.00, "renfe": 103.52, "taxi": 274.02},
+    {"algorithm": "AIT-V", "book": 0.26, "btc": 0.28, "renfe": 3.91, "taxi": 9.40},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure index-construction time for every non-weighted competitor."""
+    cells = run_grid(config, NON_WEIGHTED_ALGORITHMS, weighted=False)
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Pre-processing time [sec] (non-weighted case)",
+        columns=["algorithm", *config.datasets],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "Expected shape: AIT is the most expensive build (it materialises the "
+            "augmented AL lists), AIT-V the cheapest of the tree builds (only n/log n "
+            "virtual intervals); absolute values are pure-Python and not comparable to "
+            "the paper's C++ numbers."
+        ),
+    )
+    for algorithm in NON_WEIGHTED_ALGORITHMS:
+        row = {"algorithm": algorithm}
+        for cell in cells:
+            if cell.algorithm == algorithm:
+                row[cell.dataset] = cell.build_seconds
+        result.add_row(**row)
+    return result

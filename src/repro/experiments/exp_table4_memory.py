@@ -1,0 +1,42 @@
+"""Table IV — memory usage of every index, non-weighted case."""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig
+from .grid import run_grid
+from .harness import NON_WEIGHTED_ALGORITHMS
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Table IV of the paper (GB, at full dataset scale).
+PAPER_REFERENCE = [
+    {"algorithm": "Interval tree", "book": 0.17, "btc": 0.22, "renfe": 2.26, "taxi": 6.27},
+    {"algorithm": "HINT^m", "book": 0.10, "btc": 0.06, "renfe": 0.53, "taxi": 1.29},
+    {"algorithm": "KDS", "book": 0.29, "btc": 0.32, "renfe": 4.84, "taxi": 13.34},
+    {"algorithm": "AIT", "book": 0.30, "btc": 0.78, "renfe": 8.12, "taxi": 29.88},
+    {"algorithm": "AIT-V", "book": 0.03, "btc": 0.05, "renfe": 0.66, "taxi": 1.73},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure structure memory (MB at the configured scale) for every competitor."""
+    cells = run_grid(config, NON_WEIGHTED_ALGORITHMS, weighted=False)
+    result = ExperimentResult(
+        experiment_id="table4",
+        title="Memory usage [MB at configured scale] (non-weighted case)",
+        columns=["algorithm", *config.datasets],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "Paper reference is in GB at full cardinality; measured values are MB at "
+            "config.dataset_size.  Expected shape: AIT uses the most memory (O(n log n) "
+            "lists), AIT-V roughly an order of magnitude less (O(n))."
+        ),
+    )
+    for algorithm in NON_WEIGHTED_ALGORITHMS:
+        row = {"algorithm": algorithm}
+        for cell in cells:
+            if cell.algorithm == algorithm:
+                row[cell.dataset] = cell.memory_bytes / 1e6
+        result.add_row(**row)
+    return result

@@ -1,0 +1,45 @@
+"""Table V — candidate computation time, non-weighted case.
+
+The candidate set is ``q ∩ X`` for the search-based algorithms, the node
+record set ``R`` for AIT / AIT-V, and the canonical kd-tree cover for KDS.
+"""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig
+from .grid import run_grid
+from .harness import NON_WEIGHTED_ALGORITHMS
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Table V of the paper (microseconds).
+PAPER_REFERENCE = [
+    {"algorithm": "Interval tree", "book": 4353.58, "btc": 3345.17, "renfe": 76304.50, "taxi": 177287.52},
+    {"algorithm": "HINT^m", "book": 4115.27, "btc": 2183.65, "renfe": 34264.49, "taxi": 131061.57},
+    {"algorithm": "KDS", "book": 105.29, "btc": 16.37, "renfe": 9.40, "taxi": 44.24},
+    {"algorithm": "AIT", "book": 0.83, "btc": 0.37, "renfe": 1.20, "taxi": 2.08},
+    {"algorithm": "AIT-V", "book": 0.02, "btc": 0.01, "renfe": 0.94, "taxi": 1.01},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure the candidate-computation phase for every non-weighted competitor."""
+    cells = run_grid(config, NON_WEIGHTED_ALGORITHMS, weighted=False)
+    result = ExperimentResult(
+        experiment_id="table5",
+        title="Candidate computation time [microsec] (non-weighted case)",
+        columns=["algorithm", *config.datasets],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "Expected shape: the AIT family is orders of magnitude below the "
+            "search-based algorithms (which pay Ω(|q ∩ X|)) and clearly below KDS."
+        ),
+    )
+    for algorithm in NON_WEIGHTED_ALGORITHMS:
+        row = {"algorithm": algorithm}
+        for cell in cells:
+            if cell.algorithm == algorithm:
+                row[cell.dataset] = cell.timings.candidate_us
+        result.add_row(**row)
+    return result

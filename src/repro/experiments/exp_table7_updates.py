@@ -1,0 +1,70 @@
+"""Table VII — amortized update time of the AIT (insertion, batch insertion, deletion)."""
+
+from __future__ import annotations
+
+import time
+
+from ..core import AIT
+from .config import ExperimentConfig
+from .harness import build_dataset
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Table VII of the paper (milliseconds per operation).
+PAPER_REFERENCE = [
+    {"operation": "Insertion", "book": 448.18, "btc": 894.44, "renfe": 2283.23, "taxi": 6312.70},
+    {"operation": "Batch insertion", "book": 3.01, "btc": 2.14, "renfe": 5.25, "taxi": 10.43},
+    {"operation": "Deletion", "book": 2.23, "btc": 3.24, "renfe": 31.58, "taxi": 90.38},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure amortized per-operation update time of the AIT on every dataset."""
+    result = ExperimentResult(
+        experiment_id="table7",
+        title="Amortized update time of AIT [millisec]",
+        columns=["operation", *config.datasets],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "Expected shape: one-by-one insertion is by far the most expensive path, "
+            "batch (pooled) insertion reduces it by orders of magnitude, deletions are cheap."
+        ),
+    )
+    insertion_row = {"operation": "Insertion"}
+    batch_row = {"operation": "Batch insertion"}
+    deletion_row = {"operation": "Deletion"}
+    update_count = max(10, config.update_count)
+
+    for dataset_name in config.datasets:
+        full = build_dataset(config, dataset_name, size=config.dataset_size + update_count)
+        base = full.subset(range(config.dataset_size))
+        extra = [(float(full.lefts[i]), float(full.rights[i]))
+                 for i in range(config.dataset_size, config.dataset_size + update_count)]
+
+        # One-by-one insertion.
+        tree = AIT(base)
+        start = time.perf_counter()
+        for left, right in extra:
+            tree.insert((left, right), immediate=True)
+        insertion_row[dataset_name] = (time.perf_counter() - start) / update_count * 1e3
+
+        # Batch (pooled) insertion.
+        tree = AIT(base)
+        start = time.perf_counter()
+        for left, right in extra:
+            tree.insert((left, right))
+        tree.flush_pool()
+        batch_row[dataset_name] = (time.perf_counter() - start) / update_count * 1e3
+
+        # Deletion of the freshly inserted intervals.
+        delete_ids = list(range(config.dataset_size, config.dataset_size + update_count))
+        start = time.perf_counter()
+        for interval_id in delete_ids:
+            tree.delete(interval_id)
+        deletion_row[dataset_name] = (time.perf_counter() - start) / update_count * 1e3
+
+    result.add_row(**insertion_row)
+    result.add_row(**batch_row)
+    result.add_row(**deletion_row)
+    return result

@@ -1,0 +1,41 @@
+"""Table VIII — pre-processing time and memory usage of the AWIT (weighted case)."""
+
+from __future__ import annotations
+
+from ..core import AWIT
+from .config import ExperimentConfig
+from .harness import build_dataset, time_seconds
+from .memory import structure_memory_bytes
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Table VIII of the paper (seconds, GB at full scale).
+PAPER_REFERENCE = [
+    {"metric": "Pre-processing time [sec]", "book": 3.15, "btc": 6.07, "renfe": 109.86, "taxi": 282.81},
+    {"metric": "Memory usage [GB]", "book": 0.44, "btc": 1.13, "renfe": 12.29, "taxi": 46.15},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure AWIT build time and memory on the weighted dataset analogues."""
+    result = ExperimentResult(
+        experiment_id="table8",
+        title="Pre-processing time [sec] and memory [MB at configured scale] of AWIT",
+        columns=["metric", *config.datasets],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "Expected shape: only a modest additional cost over the plain AIT "
+            "(Table III / IV), because the AWIT merely adds prefix-sum arrays."
+        ),
+    )
+    time_row = {"metric": "Pre-processing time [sec]"}
+    memory_row = {"metric": "Memory usage [MB]"}
+    for dataset_name in config.datasets:
+        dataset = build_dataset(config, dataset_name, weighted=True)
+        tree, seconds = time_seconds(lambda: AWIT(dataset))
+        time_row[dataset_name] = seconds
+        memory_row[dataset_name] = structure_memory_bytes(tree) / 1e6
+    result.add_row(**time_row)
+    result.add_row(**memory_row)
+    return result

@@ -1,0 +1,40 @@
+"""Table IX — sampling time in the weighted case (alias building included)."""
+
+from __future__ import annotations
+
+from .config import ExperimentConfig
+from .grid import run_grid
+from .harness import WEIGHTED_ALGORITHMS
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Table IX of the paper (microseconds).  Interval tree and HINT^m share a row.
+PAPER_REFERENCE = [
+    {"algorithm": "Interval tree & HINT^m", "book": 6594.67, "btc": 6593.22, "renfe": 122169.91, "taxi": 389509.09},
+    {"algorithm": "KDS", "book": 1307.50, "btc": 1442.94, "renfe": 1917.36, "taxi": 2101.71},
+    {"algorithm": "AWIT", "book": 136.39, "btc": 134.06, "renfe": 347.94, "taxi": 446.72},
+]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure the weighted sampling phase for every weighted-case competitor."""
+    cells = run_grid(config, WEIGHTED_ALGORITHMS, weighted=True)
+    result = ExperimentResult(
+        experiment_id="table9",
+        title="Sampling time [microsec] (weighted case, alias building included)",
+        columns=["algorithm", *config.datasets],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "Expected shape: search-based algorithms now pay O(|q ∩ X|) to build a "
+            "per-query alias table, so AWIT wins on both phases; AWIT is slower than "
+            "the unweighted AIT because each draw costs O(log n)."
+        ),
+    )
+    for algorithm in WEIGHTED_ALGORITHMS:
+        row = {"algorithm": algorithm}
+        for cell in cells:
+            if cell.algorithm == algorithm:
+                row[cell.dataset] = cell.timings.sampling_us
+        result.add_row(**row)
+    return result

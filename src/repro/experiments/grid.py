@@ -1,0 +1,66 @@
+"""Dataset × algorithm measurement grid shared by several experiments.
+
+Tables III-VI, VIII and IX of the paper all report one number per (dataset,
+algorithm) pair over the same workload; this module runs that grid once and
+lets the individual experiment modules pick out the columns they need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .config import ExperimentConfig
+from .harness import (
+    AlgorithmAdapter,
+    QueryTimings,
+    build_dataset,
+    build_workload,
+    make_adapters,
+    measure_build,
+    measure_query_timings,
+)
+from .memory import structure_memory_bytes
+
+__all__ = ["GridCell", "run_grid"]
+
+
+@dataclass(frozen=True, slots=True)
+class GridCell:
+    """All measurements for one (dataset, algorithm) pair."""
+
+    dataset: str
+    algorithm: str
+    display_name: str
+    build_seconds: float
+    memory_bytes: int
+    timings: QueryTimings
+
+
+def run_grid(
+    config: ExperimentConfig,
+    algorithm_names: Sequence[str],
+    weighted: bool = False,
+    extent_fraction: float | None = None,
+    sample_size: int | None = None,
+) -> list[GridCell]:
+    """Build every index on every dataset and measure build, memory and query times."""
+    adapters = make_adapters(algorithm_names, weighted=weighted)
+    sample_size = sample_size if sample_size is not None else config.sample_size
+    cells: list[GridCell] = []
+    for dataset_name in config.datasets:
+        dataset = build_dataset(config, dataset_name, weighted=weighted)
+        workload = build_workload(config, dataset, dataset_name, extent_fraction=extent_fraction)
+        for adapter in adapters:
+            index, build_seconds = measure_build(adapter, dataset)
+            memory = structure_memory_bytes(index)
+            timings = measure_query_timings(adapter, index, workload, sample_size, seed=config.seed)
+            cells.append(
+                GridCell(dataset_name, adapter.name, adapter.display_name, build_seconds, memory, timings)
+            )
+    return cells
+
+
+def cells_for(cells: Sequence[GridCell], algorithm: str) -> list[GridCell]:
+    """The grid cells of one algorithm, in dataset order."""
+    return [cell for cell in cells if cell.algorithm == algorithm]

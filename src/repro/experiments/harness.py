@@ -1,0 +1,265 @@
+"""Measurement harness shared by every experiment module.
+
+The paper's evaluation splits query time into a *candidate computation* phase
+(``q ∩ X`` for the search-based algorithms, the node-record set ``R`` for the
+AIT family, the canonical cover for KDS) and a *sampling* phase.  The harness
+mirrors that split: it times the candidate phase directly, times the full
+end-to-end sampling call, and reports the difference as the sampling phase.
+
+Algorithms are wrapped in small :class:`AlgorithmAdapter` objects so all
+experiments can iterate over them uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..baselines import HINT, KDS, IntervalTree, KDTreeIndex
+from ..core import AIT, AITV, AWIT, IntervalDataset
+from ..datasets import QueryWorkload, generate_paper_dataset, generate_queries
+from ..sampling.rng import resolve_rng
+from .config import ExperimentConfig
+
+__all__ = [
+    "AlgorithmAdapter",
+    "QueryTimings",
+    "NON_WEIGHTED_ALGORITHMS",
+    "WEIGHTED_ALGORITHMS",
+    "COUNTING_ALGORITHMS",
+    "make_adapters",
+    "build_dataset",
+    "build_workload",
+    "time_seconds",
+    "measure_build",
+    "measure_query_timings",
+    "measure_counting",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AlgorithmAdapter:
+    """Uniform wrapper around one algorithm for the experiment harness."""
+
+    name: str
+    display_name: str
+    build: Callable[[IntervalDataset], Any]
+    candidate: Callable[[Any, tuple[float, float]], Any]
+    sample: Callable[[Any, tuple[float, float], int, np.random.Generator], np.ndarray]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryTimings:
+    """Average per-query timings in microseconds."""
+
+    candidate_us: float
+    sampling_us: float
+
+    @property
+    def total_us(self) -> float:
+        """Average end-to-end query time (candidate + sampling)."""
+        return self.candidate_us + self.sampling_us
+
+
+# ---------------------------------------------------------------------- #
+# algorithm registry
+# ---------------------------------------------------------------------- #
+def _adapter_interval_tree(weighted: bool) -> AlgorithmAdapter:
+    return AlgorithmAdapter(
+        name="interval_tree",
+        display_name="Interval tree",
+        build=lambda ds: IntervalTree(ds, weighted=weighted),
+        candidate=lambda index, q: index.report(q),
+        sample=lambda index, q, s, rng: index.sample(q, s, random_state=rng),
+    )
+
+
+def _adapter_hint(weighted: bool) -> AlgorithmAdapter:
+    return AlgorithmAdapter(
+        name="hint",
+        display_name="HINT^m",
+        build=lambda ds: HINT(ds, weighted=weighted),
+        candidate=lambda index, q: index.report(q),
+        sample=lambda index, q, s, rng: index.sample(q, s, random_state=rng),
+    )
+
+
+def _adapter_kds(weighted: bool) -> AlgorithmAdapter:
+    return AlgorithmAdapter(
+        name="kds",
+        display_name="KDS",
+        build=lambda ds: KDS(ds, weighted=weighted),
+        candidate=lambda index, q: index.canonical_cover(q),
+        sample=lambda index, q, s, rng: index.sample(q, s, random_state=rng),
+    )
+
+
+def _adapter_ait() -> AlgorithmAdapter:
+    return AlgorithmAdapter(
+        name="ait",
+        display_name="AIT",
+        build=AIT,
+        candidate=lambda index, q: index.collect_records(q),
+        sample=lambda index, q, s, rng: index.sample(q, s, random_state=rng),
+    )
+
+
+def _adapter_ait_v() -> AlgorithmAdapter:
+    return AlgorithmAdapter(
+        name="ait_v",
+        display_name="AIT-V",
+        build=AITV,
+        candidate=lambda index, q: index.virtual_tree.collect_records(q),
+        sample=lambda index, q, s, rng: index.sample(q, s, random_state=rng),
+    )
+
+
+def _adapter_awit() -> AlgorithmAdapter:
+    return AlgorithmAdapter(
+        name="awit",
+        display_name="AWIT",
+        build=AWIT,
+        candidate=lambda index, q: index.collect_records(q),
+        sample=lambda index, q, s, rng: index.sample(q, s, random_state=rng),
+    )
+
+
+def _adapter_kdtree() -> AlgorithmAdapter:
+    return AlgorithmAdapter(
+        name="kdtree",
+        display_name="kd-tree",
+        build=KDTreeIndex,
+        candidate=lambda index, q: index.canonical_cover(q),
+        sample=lambda index, q, s, rng: np.empty(0, dtype=np.int64),
+    )
+
+
+#: Algorithms evaluated in the non-weighted experiments (Section V-B order).
+NON_WEIGHTED_ALGORITHMS: tuple[str, ...] = ("interval_tree", "hint", "kds", "ait", "ait_v")
+
+#: Algorithms evaluated in the weighted experiments (Section V-C order).
+WEIGHTED_ALGORITHMS: tuple[str, ...] = ("interval_tree", "hint", "kds", "awit")
+
+#: Algorithms evaluated in the range-counting experiment (Table X order).
+COUNTING_ALGORITHMS: tuple[str, ...] = ("ait", "hint", "kdtree")
+
+
+def make_adapters(
+    names: Sequence[str] = NON_WEIGHTED_ALGORITHMS, weighted: bool = False
+) -> list[AlgorithmAdapter]:
+    """Instantiate adapters for the requested algorithm names."""
+    factory = {
+        "interval_tree": lambda: _adapter_interval_tree(weighted),
+        "hint": lambda: _adapter_hint(weighted),
+        "kds": lambda: _adapter_kds(weighted),
+        "ait": _adapter_ait,
+        "ait_v": _adapter_ait_v,
+        "awit": _adapter_awit,
+        "kdtree": _adapter_kdtree,
+    }
+    adapters = []
+    for name in names:
+        if name not in factory:
+            raise KeyError(f"unknown algorithm {name!r}; expected one of {sorted(factory)}")
+        adapters.append(factory[name]())
+    return adapters
+
+
+# ---------------------------------------------------------------------- #
+# dataset / workload construction
+# ---------------------------------------------------------------------- #
+def build_dataset(
+    config: ExperimentConfig, dataset_name: str, weighted: bool = False, size: int | None = None
+) -> IntervalDataset:
+    """Generate the synthetic analogue of one paper dataset under ``config``."""
+    return generate_paper_dataset(
+        dataset_name,
+        n=size if size is not None else config.dataset_size,
+        weighted=weighted,
+        random_state=config.dataset_seed(dataset_name),
+    )
+
+
+def build_workload(
+    config: ExperimentConfig,
+    dataset: IntervalDataset,
+    dataset_name: str,
+    extent_fraction: float | None = None,
+    count: int | None = None,
+) -> QueryWorkload:
+    """Generate the query workload for one dataset under ``config``."""
+    return generate_queries(
+        dataset,
+        count=count if count is not None else config.query_count,
+        extent_fraction=extent_fraction if extent_fraction is not None else config.extent_fraction,
+        random_state=config.query_seed(dataset_name),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# timing
+# ---------------------------------------------------------------------- #
+def time_seconds(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` once and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def measure_build(adapter: AlgorithmAdapter, dataset: IntervalDataset) -> tuple[Any, float]:
+    """Build the adapter's index over ``dataset`` and return ``(index, seconds)``."""
+    return time_seconds(lambda: adapter.build(dataset))
+
+
+def measure_query_timings(
+    adapter: AlgorithmAdapter,
+    index: Any,
+    workload: QueryWorkload | Sequence[tuple[float, float]],
+    sample_size: int,
+    seed: int = 0,
+) -> QueryTimings:
+    """Average candidate / sampling time per query, in microseconds.
+
+    The candidate phase is timed directly; the sampling phase is the
+    end-to-end sampling call minus the candidate time (the sampling call
+    internally recomputes the candidate, matching how the paper reports the
+    two phases separately while their sum is the total query time).
+    """
+    rng = resolve_rng(seed)
+    queries = list(workload)
+    if queries:
+        # One untimed warm-up query so cold caches do not skew the first point
+        # of a sweep (the paper's workloads are long enough to amortise this).
+        adapter.candidate(index, queries[0])
+        adapter.sample(index, queries[0], sample_size, rng)
+    candidate_total = 0.0
+    end_to_end_total = 0.0
+    for query in queries:
+        start = time.perf_counter()
+        adapter.candidate(index, query)
+        candidate_total += time.perf_counter() - start
+
+        start = time.perf_counter()
+        adapter.sample(index, query, sample_size, rng)
+        end_to_end_total += time.perf_counter() - start
+
+    query_count = max(1, len(queries))
+    candidate_us = candidate_total / query_count * 1e6
+    sampling_us = max(end_to_end_total - candidate_total, 0.0) / query_count * 1e6
+    return QueryTimings(candidate_us, sampling_us)
+
+
+def measure_counting(
+    index: Any, workload: QueryWorkload | Sequence[tuple[float, float]]
+) -> float:
+    """Average range-counting time per query in microseconds (Table X)."""
+    queries = list(workload)
+    start = time.perf_counter()
+    for query in queries:
+        index.count(query)
+    elapsed = time.perf_counter() - start
+    return elapsed / max(1, len(queries)) * 1e6

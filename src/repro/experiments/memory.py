@@ -1,0 +1,50 @@
+"""Structure-size estimation used by the memory experiments (Tables IV and VIII)."""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+import numpy as np
+
+__all__ = ["structure_memory_bytes", "deep_sizeof"]
+
+
+def structure_memory_bytes(index: Any) -> int:
+    """Memory footprint of an index structure in bytes.
+
+    Structures in this library expose ``memory_bytes()``; anything else falls
+    back to a conservative recursive ``sys.getsizeof`` walk.
+    """
+    probe = getattr(index, "memory_bytes", None)
+    if callable(probe):
+        return int(probe())
+    return deep_sizeof(index)
+
+
+def deep_sizeof(obj: Any, _seen: set[int] | None = None) -> int:
+    """Recursive ``sys.getsizeof`` covering containers, __dict__/__slots__ and numpy arrays."""
+    if _seen is None:
+        _seen = set()
+    identity = id(obj)
+    if identity in _seen:
+        return 0
+    _seen.add(identity)
+
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + sys.getsizeof(obj, 0)
+
+    size = sys.getsizeof(obj, 64)
+    if isinstance(obj, dict):
+        size += sum(deep_sizeof(k, _seen) + deep_sizeof(v, _seen) for k, v in obj.items())
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(deep_sizeof(item, _seen) for item in obj)
+    else:
+        attrs = getattr(obj, "__dict__", None)
+        if attrs:
+            size += deep_sizeof(attrs, _seen)
+        slots = getattr(type(obj), "__slots__", ())
+        for slot in slots:
+            if hasattr(obj, slot):
+                size += deep_sizeof(getattr(obj, slot), _seen)
+    return size

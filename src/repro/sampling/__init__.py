@@ -1,0 +1,35 @@
+"""Weighted and uniform sampling primitives used by every index in the library."""
+
+from .alias import AliasTable, alias_sample, build_alias
+from .cumulative import (
+    CumulativeSampler,
+    cumulative_sample,
+    prefix_sums,
+    range_weight,
+    sample_from_prefix_range,
+)
+from .rng import RandomState, resolve_rng, spawn_rngs
+from .uniform import (
+    reservoir_sample,
+    sample_indices_with_replacement,
+    sample_with_replacement,
+    sample_without_replacement,
+)
+
+__all__ = [
+    "AliasTable",
+    "alias_sample",
+    "build_alias",
+    "CumulativeSampler",
+    "cumulative_sample",
+    "prefix_sums",
+    "range_weight",
+    "sample_from_prefix_range",
+    "RandomState",
+    "resolve_rng",
+    "spawn_rngs",
+    "reservoir_sample",
+    "sample_indices_with_replacement",
+    "sample_with_replacement",
+    "sample_without_replacement",
+]

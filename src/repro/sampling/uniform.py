@@ -1,0 +1,78 @@
+"""Uniform (unweighted) sampling helpers.
+
+The search-based baselines (interval tree, HINT^m) answer IRS queries by
+materialising the full result set and then drawing simple random samples from
+it; these helpers implement that final step, plus with/without-replacement
+utilities used by the example applications.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from .rng import RandomState, resolve_rng
+
+__all__ = [
+    "sample_with_replacement",
+    "sample_without_replacement",
+    "sample_indices_with_replacement",
+    "reservoir_sample",
+]
+
+T = TypeVar("T")
+
+
+def sample_indices_with_replacement(
+    population_size: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``count`` indices uniformly from ``range(population_size)`` with replacement."""
+    if population_size <= 0:
+        raise ValueError("population_size must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return rng.integers(0, population_size, size=count)
+
+
+def sample_with_replacement(
+    items: Sequence[T], count: int, random_state: RandomState = None
+) -> list[T]:
+    """Draw ``count`` items uniformly with replacement from ``items``."""
+    rng = resolve_rng(random_state)
+    idx = sample_indices_with_replacement(len(items), count, rng)
+    return [items[int(i)] for i in idx]
+
+
+def sample_without_replacement(
+    items: Sequence[T], count: int, random_state: RandomState = None
+) -> list[T]:
+    """Draw ``min(count, len(items))`` distinct items uniformly from ``items``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = resolve_rng(random_state)
+    k = min(count, len(items))
+    if k == 0:
+        return []
+    idx = rng.choice(len(items), size=k, replace=False)
+    return [items[int(i)] for i in idx]
+
+
+def reservoir_sample(iterable, count: int, random_state: RandomState = None) -> list:
+    """Reservoir sampling (Algorithm R) over a single pass of ``iterable``.
+
+    Useful when the population is produced by a generator whose size is not
+    known in advance (e.g. streaming a result set from disk).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = resolve_rng(random_state)
+    reservoir: list = []
+    for seen, item in enumerate(iterable):
+        if seen < count:
+            reservoir.append(item)
+        else:
+            j = int(rng.integers(0, seen + 1))
+            if j < count:
+                reservoir[j] = item
+    return reservoir

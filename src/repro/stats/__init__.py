@@ -1,0 +1,31 @@
+"""Statistical validation of sampling distributions and sample-based estimators."""
+
+from .estimators import (
+    Estimate,
+    estimate_mean,
+    estimate_proportion,
+    estimate_result_statistic,
+    estimate_sum,
+)
+from .uniformity import (
+    GoodnessOfFit,
+    chi_square_goodness_of_fit,
+    chi_square_uniformity,
+    chi_square_weighted,
+    empirical_frequencies,
+    total_variation_distance,
+)
+
+__all__ = [
+    "Estimate",
+    "estimate_mean",
+    "estimate_proportion",
+    "estimate_result_statistic",
+    "estimate_sum",
+    "GoodnessOfFit",
+    "chi_square_goodness_of_fit",
+    "chi_square_uniformity",
+    "chi_square_weighted",
+    "empirical_frequencies",
+    "total_variation_distance",
+]

@@ -1,0 +1,150 @@
+"""Statistical validation of sampling distributions.
+
+The correctness claims of the paper (Theorem 3 and the weighted analogue of
+Corollary 5) are distributional: every member of ``q ∩ X`` must be drawn with
+probability ``1/|q ∩ X|`` (respectively ``w(x)/W``).  These helpers turn that
+into testable statistics: empirical frequencies, chi-square goodness-of-fit
+and total-variation distance against the theoretical distribution.
+
+The chi-square p-value uses ``scipy.stats`` when available and falls back to
+the Wilson–Hilferty normal approximation otherwise, so the core library keeps
+its numpy-only dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "empirical_frequencies",
+    "GoodnessOfFit",
+    "chi_square_goodness_of_fit",
+    "chi_square_uniformity",
+    "chi_square_weighted",
+    "total_variation_distance",
+]
+
+
+def empirical_frequencies(samples: Iterable[int]) -> dict[int, int]:
+    """Count how many times each id occurs in ``samples``."""
+    counts: dict[int, int] = {}
+    for value in samples:
+        key = int(value)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True, slots=True)
+class GoodnessOfFit:
+    """Result of a chi-square goodness-of-fit test."""
+
+    statistic: float
+    degrees_of_freedom: int
+    p_value: float
+
+    def rejects_uniformity(self, alpha: float = 0.001) -> bool:
+        """True when the null hypothesis (samples follow the target law) is rejected."""
+        return self.p_value < alpha
+
+
+def _chi_square_sf(statistic: float, dof: int) -> float:
+    """Survival function of the chi-square distribution."""
+    if dof <= 0:
+        return 1.0
+    try:  # pragma: no cover - depends on environment
+        from scipy import stats as scipy_stats
+
+        return float(scipy_stats.chi2.sf(statistic, dof))
+    except Exception:  # pragma: no cover - fallback path
+        # Wilson–Hilferty cube-root normal approximation.
+        z = ((statistic / dof) ** (1.0 / 3.0) - (1.0 - 2.0 / (9.0 * dof))) / math.sqrt(
+            2.0 / (9.0 * dof)
+        )
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def chi_square_goodness_of_fit(
+    samples: Sequence[int],
+    expected_probabilities: Mapping[int, float],
+) -> GoodnessOfFit:
+    """Chi-square test of ``samples`` against arbitrary per-id probabilities.
+
+    Ids with expected probability below ``1 / (10 * len(samples))`` are pooled
+    into a single cell to keep expected counts reasonable.
+    """
+    total = len(samples)
+    if total == 0:
+        raise ValueError("cannot test an empty sample")
+    prob_sum = float(sum(expected_probabilities.values()))
+    if not math.isclose(prob_sum, 1.0, rel_tol=1e-6, abs_tol=1e-6):
+        raise ValueError(f"expected probabilities must sum to 1, got {prob_sum}")
+
+    counts = empirical_frequencies(samples)
+    unknown = set(counts) - set(int(k) for k in expected_probabilities)
+    if unknown:
+        raise ValueError(f"samples contain ids outside the expected support: {sorted(unknown)[:5]}")
+
+    threshold = 1.0 / (10.0 * total)
+    main_ids = [i for i, p in expected_probabilities.items() if p >= threshold]
+    pooled_prob = float(sum(p for p in expected_probabilities.values() if p < threshold))
+    pooled_count = sum(counts.get(int(i), 0) for i, p in expected_probabilities.items() if p < threshold)
+
+    statistic = 0.0
+    cells = 0
+    for i in main_ids:
+        expected = expected_probabilities[i] * total
+        observed = counts.get(int(i), 0)
+        statistic += (observed - expected) ** 2 / expected
+        cells += 1
+    if pooled_prob > 0:
+        expected = pooled_prob * total
+        statistic += (pooled_count - expected) ** 2 / expected
+        cells += 1
+
+    dof = max(1, cells - 1)
+    return GoodnessOfFit(float(statistic), dof, _chi_square_sf(float(statistic), dof))
+
+
+def chi_square_uniformity(samples: Sequence[int], population: Sequence[int]) -> GoodnessOfFit:
+    """Chi-square test that ``samples`` are uniform over ``population`` (Problem 1)."""
+    population_ids = [int(i) for i in population]
+    if not population_ids:
+        raise ValueError("population must be non-empty")
+    probability = 1.0 / len(population_ids)
+    return chi_square_goodness_of_fit(samples, {i: probability for i in population_ids})
+
+
+def chi_square_weighted(
+    samples: Sequence[int], population: Sequence[int], weights: Sequence[float]
+) -> GoodnessOfFit:
+    """Chi-square test that ``samples`` follow w(x)/W over ``population`` (Problem 2)."""
+    population_ids = [int(i) for i in population]
+    weight_values = np.asarray(list(weights), dtype=np.float64)
+    if len(population_ids) != weight_values.shape[0]:
+        raise ValueError("population and weights must have the same length")
+    total_weight = float(weight_values.sum())
+    if total_weight <= 0:
+        raise ValueError("total weight must be positive")
+    expected = {i: float(w) / total_weight for i, w in zip(population_ids, weight_values)}
+    return chi_square_goodness_of_fit(samples, expected)
+
+
+def total_variation_distance(
+    samples: Sequence[int], expected_probabilities: Mapping[int, float]
+) -> float:
+    """Total-variation distance between the empirical and expected distributions."""
+    total = len(samples)
+    if total == 0:
+        raise ValueError("cannot compute a distance for an empty sample")
+    counts = empirical_frequencies(samples)
+    distance = 0.0
+    support = set(int(k) for k in expected_probabilities) | set(counts)
+    for i in support:
+        empirical = counts.get(i, 0) / total
+        expected = float(expected_probabilities.get(i, 0.0))
+        distance += abs(empirical - expected)
+    return 0.5 * distance

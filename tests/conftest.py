@@ -1,0 +1,110 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures provide (a) a small handcrafted dataset mirroring the running
+example of the paper (Fig. 2), (b) factories for random datasets of various
+shapes, and (c) helpers to compute ground truth by brute force.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Interval, IntervalDataset
+
+
+@pytest.fixture
+def paper_example_dataset() -> IntervalDataset:
+    """Eleven intervals laid out like the running example (Fig. 2) of the paper."""
+    intervals = [
+        Interval(4.0, 9.0),    # x1: straddles the middle of the domain
+        Interval(1.0, 3.0),    # x2
+        Interval(8.0, 11.0),   # x3
+        Interval(2.0, 4.0),    # x4
+        Interval(9.0, 12.0),   # x5
+        Interval(5.0, 7.0),    # x6
+        Interval(11.0, 13.0),  # x7
+        Interval(0.0, 1.0),    # x8
+        Interval(3.0, 4.5),    # x9
+        Interval(7.5, 9.5),    # x10
+        Interval(12.0, 14.0),  # x11
+    ]
+    return IntervalDataset.from_intervals(intervals)
+
+
+@pytest.fixture
+def make_random_dataset():
+    """Factory for random datasets: make_random_dataset(n, seed, kind, weighted)."""
+
+    def _make(
+        n: int = 500,
+        seed: int = 0,
+        kind: str = "uniform",
+        weighted: bool = False,
+        domain: float = 1000.0,
+    ) -> IntervalDataset:
+        rng = np.random.default_rng(seed)
+        if kind == "uniform":
+            lefts = rng.uniform(0.0, domain, n)
+            lengths = rng.exponential(domain / 50.0, n)
+        elif kind == "long":
+            lefts = rng.uniform(0.0, domain, n)
+            lengths = rng.uniform(domain / 4.0, domain / 2.0, n)
+        elif kind == "points":
+            lefts = rng.uniform(0.0, domain, n)
+            lengths = np.zeros(n)
+        elif kind == "clustered":
+            centers = rng.uniform(0.0, domain, 5)
+            lefts = centers[rng.integers(0, 5, n)] + rng.normal(0.0, domain / 100.0, n)
+            lefts = np.clip(lefts, 0.0, domain)
+            lengths = rng.exponential(domain / 100.0, n)
+        elif kind == "duplicates":
+            base_lefts = rng.uniform(0.0, domain, max(1, n // 10))
+            base_lengths = rng.exponential(domain / 50.0, max(1, n // 10))
+            idx = rng.integers(0, base_lefts.shape[0], n)
+            lefts = base_lefts[idx]
+            lengths = base_lengths[idx]
+        else:
+            raise ValueError(f"unknown dataset kind {kind!r}")
+        rights = lefts + lengths
+        weights = rng.integers(1, 101, n).astype(np.float64) if weighted else None
+        return IntervalDataset(lefts, rights, weights)
+
+    return _make
+
+
+@pytest.fixture
+def random_dataset(make_random_dataset) -> IntervalDataset:
+    """A medium random dataset used by most structure tests."""
+    return make_random_dataset(n=800, seed=7)
+
+
+@pytest.fixture
+def weighted_dataset(make_random_dataset) -> IntervalDataset:
+    """A medium random dataset with integer weights in [1, 100]."""
+    return make_random_dataset(n=600, seed=11, weighted=True)
+
+
+@pytest.fixture
+def make_queries():
+    """Factory for random query workloads: make_queries(dataset, count, extent, seed)."""
+
+    def _make(dataset: IntervalDataset, count: int = 25, extent: float = 0.08, seed: int = 3):
+        rng = np.random.default_rng(seed)
+        lo, hi = dataset.domain()
+        length = (hi - lo) * extent
+        lefts = rng.uniform(lo, max(hi - length, lo), count)
+        return [(float(l), float(l + length)) for l in lefts]
+
+    return _make
+
+
+def truth_ids(dataset: IntervalDataset, query: tuple[float, float]) -> set[int]:
+    """Ground-truth result set of a query, by brute force."""
+    return set(int(i) for i in dataset.overlap_indices(query[0], query[1]))
+
+
+@pytest.fixture
+def ground_truth():
+    """The brute-force ground-truth helper as a fixture."""
+    return truth_ids

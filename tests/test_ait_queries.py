@@ -1,0 +1,101 @@
+"""Counting and reporting correctness of the AIT against the brute-force oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AIT, Interval, IntervalDataset, InvalidQueryError
+
+
+class TestCounting:
+    def test_count_matches_oracle_on_random_queries(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        for query in make_queries(random_dataset, count=40, extent=0.05):
+            assert tree.count(query) == random_dataset.overlap_count(*query)
+
+    def test_count_various_extents(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        for extent in (0.01, 0.1, 0.5, 1.0):
+            for query in make_queries(random_dataset, count=10, extent=extent, seed=int(extent * 100)):
+                assert tree.count(query) == random_dataset.overlap_count(*query)
+
+    def test_count_query_covering_everything(self, random_dataset):
+        tree = AIT(random_dataset)
+        lo, hi = random_dataset.domain()
+        assert tree.count((lo - 1.0, hi + 1.0)) == len(random_dataset)
+
+    def test_count_empty_region(self, random_dataset):
+        tree = AIT(random_dataset)
+        _, hi = random_dataset.domain()
+        assert tree.count((hi + 10.0, hi + 20.0)) == 0
+
+    def test_count_point_query_equals_stabbing(self, random_dataset):
+        tree = AIT(random_dataset)
+        rng = np.random.default_rng(0)
+        lo, hi = random_dataset.domain()
+        for point in rng.uniform(lo, hi, 20):
+            assert tree.count((point, point)) == random_dataset.overlap_count(point, point)
+
+    def test_count_accepts_interval_objects(self, random_dataset):
+        tree = AIT(random_dataset)
+        lo, hi = random_dataset.domain()
+        q = Interval(lo, (lo + hi) / 2)
+        assert tree.count(q) == random_dataset.overlap_count(q.left, q.right)
+
+    def test_count_boundary_touching(self):
+        tree = AIT(IntervalDataset([0.0, 10.0], [5.0, 20.0]))
+        assert tree.count((5.0, 10.0)) == 2
+        assert tree.count((5.0001, 9.9999)) == 0 + 0  # neither touches
+        assert tree.count((20.0, 30.0)) == 1
+
+    def test_invalid_query_raises(self, random_dataset):
+        tree = AIT(random_dataset)
+        with pytest.raises(InvalidQueryError):
+            tree.count((5.0, 1.0))
+
+
+class TestReporting:
+    def test_report_matches_oracle(self, random_dataset, make_queries, ground_truth):
+        tree = AIT(random_dataset)
+        for query in make_queries(random_dataset, count=40, extent=0.08):
+            assert set(tree.report(query).tolist()) == ground_truth(random_dataset, query)
+
+    def test_report_has_no_duplicates(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        for query in make_queries(random_dataset, count=20, extent=0.3):
+            ids = tree.report(query)
+            assert len(ids) == len(set(ids.tolist()))
+
+    def test_report_on_point_dataset(self, make_random_dataset, make_queries, ground_truth):
+        dataset = make_random_dataset(n=400, seed=9, kind="points")
+        tree = AIT(dataset)
+        for query in make_queries(dataset, count=20):
+            assert set(tree.report(query).tolist()) == ground_truth(dataset, query)
+
+    def test_report_on_long_interval_dataset(self, make_random_dataset, make_queries, ground_truth):
+        dataset = make_random_dataset(n=400, seed=10, kind="long")
+        tree = AIT(dataset)
+        for query in make_queries(dataset, count=20):
+            assert set(tree.report(query).tolist()) == ground_truth(dataset, query)
+
+    def test_report_intervals_returns_interval_objects(self, random_dataset):
+        tree = AIT(random_dataset)
+        lo, hi = random_dataset.domain()
+        intervals = tree.report_intervals((lo, (lo + hi) / 4))
+        assert all(isinstance(x, Interval) for x in intervals)
+        assert len(intervals) == tree.count((lo, (lo + hi) / 4))
+
+    def test_report_empty_region_returns_empty_array(self, random_dataset):
+        tree = AIT(random_dataset)
+        _, hi = random_dataset.domain()
+        out = tree.report((hi + 1.0, hi + 2.0))
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    def test_paper_example_query(self, paper_example_dataset):
+        tree = AIT(paper_example_dataset)
+        # Query straddling the middle of the domain (case 3 at the root).
+        result = set(tree.report((3.5, 8.5)).tolist())
+        expected = set(paper_example_dataset.overlap_indices(3.5, 8.5).tolist())
+        assert result == expected

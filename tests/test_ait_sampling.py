@@ -1,0 +1,135 @@
+"""Sampling correctness of the AIT: membership, determinism and uniformity (Theorem 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AIT, EmptyResultError, InvalidQueryError
+from repro.stats import chi_square_uniformity, total_variation_distance
+
+
+class TestBasicSampling:
+    def test_samples_are_members_of_result_set(self, random_dataset, make_queries, ground_truth):
+        tree = AIT(random_dataset)
+        for query in make_queries(random_dataset, count=20):
+            truth = ground_truth(random_dataset, query)
+            if not truth:
+                continue
+            samples = tree.sample(query, 200, random_state=1)
+            assert set(samples.tolist()) <= truth
+
+    def test_sample_size_is_respected(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        for s in (1, 7, 100, 1234):
+            assert tree.sample(query, s, random_state=0).shape == (s,)
+
+    def test_sample_zero_returns_empty(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        assert tree.sample(query, 0, random_state=0).shape == (0,)
+
+    def test_sampling_is_deterministic_given_seed(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        a = tree.sample(query, 100, random_state=99)
+        b = tree.sample(query, 100, random_state=99)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_give_different_samples(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.3)[0]
+        a = tree.sample(query, 100, random_state=1)
+        b = tree.sample(query, 100, random_state=2)
+        assert not np.array_equal(a, b)
+
+    def test_empty_result_returns_empty_by_default(self, random_dataset):
+        tree = AIT(random_dataset)
+        _, hi = random_dataset.domain()
+        assert tree.sample((hi + 5.0, hi + 6.0), 10, random_state=0).shape == (0,)
+
+    def test_empty_result_raises_when_requested(self, random_dataset):
+        tree = AIT(random_dataset)
+        _, hi = random_dataset.domain()
+        with pytest.raises(EmptyResultError):
+            tree.sample((hi + 5.0, hi + 6.0), 10, random_state=0, on_empty="raise")
+
+    def test_invalid_on_empty_value(self, random_dataset):
+        tree = AIT(random_dataset)
+        _, hi = random_dataset.domain()
+        with pytest.raises(ValueError):
+            tree.sample((hi + 5.0, hi + 6.0), 10, on_empty="bogus")
+
+    def test_negative_sample_size_raises(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        with pytest.raises(InvalidQueryError):
+            tree.sample(query, -5)
+
+    def test_sample_intervals_returns_interval_objects(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        intervals = tree.sample_intervals(query, 20, random_state=0)
+        assert len(intervals) == 20
+        assert all(x.left <= query[1] and query[0] <= x.right for x in intervals)
+
+    def test_single_member_result_always_returns_it(self):
+        from repro import IntervalDataset
+
+        dataset = IntervalDataset([0.0, 100.0], [1.0, 101.0])
+        tree = AIT(dataset)
+        samples = tree.sample((99.5, 100.5), 50, random_state=0)
+        assert set(samples.tolist()) == {1}
+
+
+class TestUniformity:
+    """Statistical validation of Theorem 3 (each member has probability 1/|q ∩ X|)."""
+
+    def test_chi_square_does_not_reject_uniformity(self, random_dataset, make_queries, ground_truth):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.15, seed=4)[0]
+        truth = sorted(ground_truth(random_dataset, query))
+        assert len(truth) >= 10
+        samples = tree.sample(query, 40 * len(truth), random_state=7)
+        fit = chi_square_uniformity(samples.tolist(), truth)
+        assert not fit.rejects_uniformity(alpha=1e-4)
+
+    def test_every_member_eventually_sampled(self, random_dataset, make_queries, ground_truth):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.1, seed=8)[0]
+        truth = ground_truth(random_dataset, query)
+        samples = tree.sample(query, 60 * max(1, len(truth)), random_state=3)
+        assert set(samples.tolist()) == truth
+
+    def test_total_variation_distance_is_small(self, random_dataset, make_queries, ground_truth):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.2, seed=9)[0]
+        truth = sorted(ground_truth(random_dataset, query))
+        samples = tree.sample(query, 50 * len(truth), random_state=11)
+        expected = {i: 1.0 / len(truth) for i in truth}
+        assert total_variation_distance(samples.tolist(), expected) < 0.15
+
+    def test_straddling_and_contained_intervals_sampled_alike(self):
+        """Intervals partially covered by q must not be under- or over-sampled."""
+        from repro import IntervalDataset
+
+        # 5 intervals fully inside the query, 5 straddling its left boundary.
+        lefts = [10.0, 11.0, 12.0, 13.0, 14.0, 0.0, 1.0, 2.0, 3.0, 4.0]
+        rights = [15.0, 16.0, 17.0, 18.0, 19.0, 12.0, 12.5, 13.0, 13.5, 14.0]
+        dataset = IntervalDataset(lefts, rights)
+        tree = AIT(dataset)
+        query = (10.0, 25.0)
+        samples = tree.sample(query, 20_000, random_state=5)
+        counts = np.bincount(samples, minlength=10)
+        freq = counts / counts.sum()
+        np.testing.assert_allclose(freq, np.full(10, 0.1), atol=0.02)
+
+    def test_consecutive_queries_are_independent_draws(self, random_dataset, make_queries):
+        """Two identical queries must not return correlated (identical) sample sets."""
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.3)[0]
+        rng = np.random.default_rng(123)
+        first = tree.sample(query, 50, random_state=rng)
+        second = tree.sample(query, 50, random_state=rng)
+        assert not np.array_equal(first, second)

@@ -1,0 +1,167 @@
+"""Structural tests for the AIT: invariants, node records, height and memory."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import AIT, EmptyDatasetError, IntervalDataset, ListKind
+
+
+def build_dataset_from_pairs(pairs):
+    lefts = [min(a, b) for a, b in pairs]
+    rights = [max(a, b) for a, b in pairs]
+    return IntervalDataset(lefts, rights)
+
+
+class TestConstruction:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            AIT(IntervalDataset([], []))
+
+    def test_single_interval_tree(self):
+        tree = AIT(IntervalDataset([1.0], [2.0]))
+        assert tree.size == 1
+        assert tree.height == 1
+        assert tree.node_count() == 1
+        assert tree.count((0.0, 5.0)) == 1
+
+    def test_identical_intervals_collapse_to_one_node(self):
+        tree = AIT(IntervalDataset([1.0] * 50, [2.0] * 50))
+        assert tree.node_count() == 1
+        assert tree.root.stab_count == 50
+
+    def test_height_is_logarithmic(self, random_dataset):
+        tree = AIT(random_dataset)
+        n = len(random_dataset)
+        assert tree.height <= 2 * math.ceil(math.log2(n)) + 2
+
+    def test_invariants_hold_after_build(self, random_dataset):
+        AIT(random_dataset).check_invariants()
+
+    def test_invariants_hold_for_degenerate_point_intervals(self, make_random_dataset):
+        tree = AIT(make_random_dataset(n=300, seed=5, kind="points"))
+        tree.check_invariants()
+
+    def test_invariants_hold_for_duplicates(self, make_random_dataset):
+        tree = AIT(make_random_dataset(n=400, seed=6, kind="duplicates"))
+        tree.check_invariants()
+
+    def test_every_interval_stored_exactly_once_in_stab_lists(self, random_dataset):
+        tree = AIT(random_dataset)
+        stored = []
+        for node in tree.iter_nodes():
+            stored.extend(node.stab_ids_by_left.tolist())
+        assert sorted(stored) == list(range(len(random_dataset)))
+
+    def test_root_subtree_list_contains_everything(self, random_dataset):
+        tree = AIT(random_dataset)
+        assert tree.root.subtree_count == len(random_dataset)
+
+    def test_memory_grows_with_dataset(self, make_random_dataset):
+        small = AIT(make_random_dataset(n=200, seed=1))
+        large = AIT(make_random_dataset(n=2000, seed=1))
+        assert large.memory_bytes() > small.memory_bytes()
+
+    def test_interval_accessor(self, random_dataset):
+        tree = AIT(random_dataset)
+        assert tree.interval(0) == random_dataset[0]
+        with pytest.raises(KeyError):
+            tree.interval(len(random_dataset) + 5)
+
+    def test_rebuild_count_starts_at_one(self, random_dataset):
+        assert AIT(random_dataset).rebuild_count == 1
+
+
+class TestNodeRecords:
+    def test_records_are_disjoint_and_complete(self, random_dataset, make_queries, ground_truth):
+        tree = AIT(random_dataset)
+        for query in make_queries(random_dataset, count=30, extent=0.1):
+            records = tree.collect_records(query)
+            ids = [rec.interval_ids().tolist() for rec in records]
+            flat = [i for chunk in ids for i in chunk]
+            assert len(flat) == len(set(flat)), "records must not overlap"
+            assert set(flat) == ground_truth(random_dataset, query)
+
+    def test_at_most_one_case3_node(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        for query in make_queries(random_dataset, count=30, extent=0.2):
+            records = tree.collect_records(query)
+            subtree_records = [
+                rec for rec in records
+                if rec.kind in (ListKind.SUBTREE_BY_LEFT, ListKind.SUBTREE_BY_RIGHT)
+            ]
+            # Case 3 contributes at most two subtree records (left and right child).
+            assert len(subtree_records) <= 2
+
+    def test_record_count_bounded_by_height_plus_constant(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        for query in make_queries(random_dataset, count=30, extent=0.15):
+            assert len(tree.collect_records(query)) <= tree.height + 2
+
+    def test_record_weights_equal_counts_for_unweighted_tree(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        for query in make_queries(random_dataset, count=10):
+            for rec in tree.collect_records(query):
+                assert rec.weight == rec.count
+
+    def test_empty_query_region_returns_no_records(self, random_dataset):
+        tree = AIT(random_dataset)
+        _, hi = random_dataset.domain()
+        assert tree.collect_records((hi + 100.0, hi + 200.0)) == []
+
+    def test_record_validation_rejects_bad_ranges(self, random_dataset):
+        from repro import NodeRecord
+
+        tree = AIT(random_dataset)
+        node = tree.root
+        with pytest.raises(ValueError):
+            NodeRecord(node, ListKind.STAB_BY_LEFT, 3, 1, 1.0)
+        with pytest.raises(ValueError):
+            NodeRecord(node, ListKind.STAB_BY_LEFT, -1, 1, 1.0)
+
+
+class TestHypothesisInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_invariants_on_arbitrary_datasets(self, pairs):
+        tree = AIT(build_dataset_from_pairs(pairs))
+        tree.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=100,
+        ),
+        query=st.tuples(
+            st.floats(min_value=-50.0, max_value=1050.0, allow_nan=False),
+            st.floats(min_value=-50.0, max_value=1050.0, allow_nan=False),
+        ),
+    )
+    def test_records_match_bruteforce_on_arbitrary_inputs(self, pairs, query):
+        dataset = build_dataset_from_pairs(pairs)
+        tree = AIT(dataset)
+        q = (min(query), max(query))
+        truth = set(dataset.overlap_indices(q[0], q[1]).tolist())
+        records = tree.collect_records(q)
+        found = set()
+        for rec in records:
+            found.update(rec.interval_ids().tolist())
+        assert found == truth

@@ -1,0 +1,251 @@
+"""Tests for AIT updates: immediate insertion, pooled insertion, deletion, rebuilds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AIT, AWIT, IntervalDataset, StructureStateError
+from repro.core.updates import height_limit
+
+
+def brute_count(lefts, rights, query):
+    lefts = np.asarray(lefts)
+    rights = np.asarray(rights)
+    return int(((lefts <= query[1]) & (query[0] <= rights)).sum())
+
+
+class TestImmediateInsertion:
+    def test_insert_visible_in_queries(self, random_dataset):
+        tree = AIT(random_dataset)
+        lo, hi = random_dataset.domain()
+        query = (lo, lo + (hi - lo) * 0.1)
+        before = tree.count(query)
+        new_id = tree.insert((query[0], query[0] + 1.0), immediate=True)
+        assert tree.count(query) == before + 1
+        assert new_id in set(tree.report(query).tolist())
+
+    def test_insert_updates_size(self, random_dataset):
+        tree = AIT(random_dataset)
+        n = tree.size
+        tree.insert((0.0, 1.0), immediate=True)
+        assert tree.size == n + 1
+
+    def test_insert_interval_object(self, random_dataset):
+        from repro import Interval
+
+        tree = AIT(random_dataset)
+        new_id = tree.insert(Interval(5.0, 6.0), immediate=True)
+        assert tree.interval(new_id) == Interval(5.0, 6.0)
+
+    def test_invariants_hold_after_many_immediate_inserts(self, make_random_dataset):
+        tree = AIT(make_random_dataset(n=200, seed=3))
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            left = float(rng.uniform(0, 1000))
+            tree.insert((left, left + float(rng.exponential(20))), immediate=True)
+        tree.check_invariants()
+
+    def test_inserted_intervals_match_bruteforce(self, make_random_dataset, make_queries):
+        dataset = make_random_dataset(n=300, seed=4)
+        tree = AIT(dataset)
+        rng = np.random.default_rng(1)
+        lefts = list(dataset.lefts)
+        rights = list(dataset.rights)
+        for _ in range(80):
+            left = float(rng.uniform(0, 1000))
+            right = left + float(rng.exponential(30))
+            tree.insert((left, right), immediate=True)
+            lefts.append(left)
+            rights.append(right)
+        for query in make_queries(dataset, count=15):
+            assert tree.count(query) == brute_count(lefts, rights, query)
+
+    def test_invalid_insert_payload_raises(self, random_dataset):
+        from repro.core.errors import InvalidIntervalError
+
+        tree = AIT(random_dataset)
+        with pytest.raises(InvalidIntervalError):
+            tree.insert("not-an-interval", immediate=True)
+        with pytest.raises(InvalidIntervalError):
+            tree.insert((5.0, 1.0), immediate=True)
+
+
+class TestPooledInsertion:
+    def test_pooled_insert_visible_before_flush(self, random_dataset):
+        tree = AIT(random_dataset)
+        lo, hi = random_dataset.domain()
+        query = (lo, lo + (hi - lo) * 0.05)
+        before = tree.count(query)
+        tree.insert((query[0], query[0] + 0.5))
+        assert tree.pending_pool_size >= 1 or tree.pending_pool_size == 0  # may have auto-flushed
+        assert tree.count(query) == before + 1
+
+    def test_pool_flushes_automatically_at_capacity(self, make_random_dataset):
+        tree = AIT(make_random_dataset(n=300, seed=5))
+        capacity = tree.batch_pool_capacity
+        for i in range(capacity):
+            tree.insert((float(i), float(i) + 0.5))
+        assert tree.pending_pool_size == 0
+
+    def test_explicit_flush(self, random_dataset):
+        tree = AIT(random_dataset)
+        tree.insert((1.0, 2.0))
+        tree.insert((3.0, 4.0))
+        flushed = tree.flush_pool()
+        assert flushed >= 2
+        assert tree.pending_pool_size == 0
+        tree.check_invariants()
+
+    def test_flush_empty_pool_is_noop(self, random_dataset):
+        tree = AIT(random_dataset)
+        assert tree.flush_pool() == 0
+
+    def test_pooled_sampling_includes_pending_intervals(self, make_random_dataset):
+        dataset = make_random_dataset(n=50, seed=6, domain=100.0)
+        tree = AIT(dataset)
+        # Insert pooled intervals into an otherwise empty region.
+        lo, hi = dataset.domain()
+        region = (hi + 10.0, hi + 20.0)
+        new_ids = [tree.insert((region[0] + i * 0.1, region[0] + i * 0.1 + 0.05)) for i in range(5)]
+        samples = tree.sample(region, 200, random_state=0)
+        assert set(samples.tolist()) <= set(new_ids)
+        assert len(samples) == 200
+
+    def test_pooled_and_immediate_equivalent_to_rebuild(self, make_random_dataset, make_queries):
+        dataset = make_random_dataset(n=250, seed=8)
+        extra = make_random_dataset(n=60, seed=9)
+        pooled = AIT(dataset, batch_pool_size=1000)
+        immediate = AIT(dataset)
+        for x in extra:
+            pooled.insert((x.left, x.right))
+            immediate.insert((x.left, x.right), immediate=True)
+        combined = IntervalDataset(
+            np.concatenate((dataset.lefts, extra.lefts)), np.concatenate((dataset.rights, extra.rights))
+        )
+        rebuilt = AIT(combined)
+        for query in make_queries(dataset, count=15):
+            assert pooled.count(query) == immediate.count(query) == rebuilt.count(query)
+        pooled.flush_pool()
+        pooled.check_invariants()
+        immediate.check_invariants()
+
+
+class TestDeletion:
+    def test_delete_removes_from_queries(self, random_dataset, make_queries, ground_truth):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        truth = ground_truth(random_dataset, query)
+        victim = next(iter(truth))
+        assert tree.delete(victim)
+        assert victim not in set(tree.report(query).tolist())
+        assert tree.count(query) == len(truth) - 1
+
+    def test_delete_updates_size_and_accessor(self, random_dataset):
+        tree = AIT(random_dataset)
+        n = tree.size
+        assert tree.delete(0)
+        assert tree.size == n - 1
+        with pytest.raises(KeyError):
+            tree.interval(0)
+
+    def test_delete_twice_returns_false(self, random_dataset):
+        tree = AIT(random_dataset)
+        assert tree.delete(1)
+        assert not tree.delete(1)
+
+    def test_delete_unknown_id_returns_false(self, random_dataset):
+        tree = AIT(random_dataset)
+        assert not tree.delete(10**9)
+        assert not tree.delete(-3)
+        assert not tree.delete("x")
+
+    def test_delete_pooled_interval(self, random_dataset):
+        tree = AIT(random_dataset)
+        new_id = tree.insert((1.0, 2.0))
+        assert tree.delete(new_id)
+        assert new_id not in set(tree.report((0.0, 3.0)).tolist())
+
+    def test_delete_everything_then_queries_are_empty(self, make_random_dataset):
+        dataset = make_random_dataset(n=60, seed=12, domain=50.0)
+        tree = AIT(dataset)
+        for i in range(len(dataset)):
+            assert tree.delete(i)
+        assert tree.size == 0
+        assert tree.count((0.0, 100.0)) == 0
+        assert tree.root is None
+
+    def test_delete_then_insert_again(self, make_random_dataset):
+        tree = AIT(make_random_dataset(n=100, seed=13))
+        tree.delete(5)
+        new_id = tree.insert((10.0, 20.0), immediate=True)
+        assert new_id in set(tree.report((12.0, 13.0)).tolist())
+        tree.check_invariants()
+
+    def test_deletions_match_bruteforce(self, make_random_dataset, make_queries):
+        dataset = make_random_dataset(n=300, seed=14)
+        tree = AIT(dataset)
+        rng = np.random.default_rng(2)
+        alive = set(range(len(dataset)))
+        for victim in rng.choice(len(dataset), size=120, replace=False):
+            tree.delete(int(victim))
+            alive.discard(int(victim))
+        lefts = dataset.lefts[sorted(alive)]
+        rights = dataset.rights[sorted(alive)]
+        for query in make_queries(dataset, count=10):
+            assert tree.count(query) == brute_count(lefts, rights, query)
+        tree.check_invariants()
+
+
+class TestRebuildAndWeightedRestrictions:
+    def test_height_limit_positive(self, random_dataset):
+        tree = AIT(random_dataset)
+        assert height_limit(tree) >= tree.height
+
+    def test_rebuild_triggered_by_pathological_insertions(self):
+        # Start tiny so the height limit is small, then insert a chain of nested
+        # intervals that would otherwise grow a long path.
+        dataset = IntervalDataset([0.0, 100.0], [1.0, 101.0])
+        tree = AIT(dataset)
+        for i in range(200):
+            left = 200.0 + i
+            tree.insert((left, left + 0.5), immediate=True)
+        assert tree.height <= height_limit(tree)
+        assert tree.rebuild_count >= 2
+        tree.check_invariants()
+
+    def test_awit_rejects_updates(self, weighted_dataset):
+        tree = AWIT(weighted_dataset)
+        with pytest.raises(StructureStateError):
+            tree.insert((0.0, 1.0))
+        with pytest.raises(StructureStateError):
+            tree.delete(0)
+
+    def test_sampling_correct_after_mixed_update_sequence(self, make_random_dataset, make_queries):
+        dataset = make_random_dataset(n=200, seed=20)
+        tree = AIT(dataset)
+        rng = np.random.default_rng(3)
+        lefts = list(dataset.lefts)
+        rights = list(dataset.rights)
+        alive = set(range(len(dataset)))
+        for step in range(150):
+            if rng.random() < 0.5 and alive:
+                victim = int(rng.choice(sorted(alive)))
+                tree.delete(victim)
+                alive.discard(victim)
+            else:
+                left = float(rng.uniform(0, 1000))
+                right = left + float(rng.exponential(25))
+                new_id = tree.insert((left, right), immediate=(step % 2 == 0))
+                lefts.append(left)
+                rights.append(right)
+                alive.add(new_id)
+        query = make_queries(dataset, count=1, extent=0.2)[0]
+        expected = {
+            i for i in alive
+            if lefts[i] <= query[1] and query[0] <= rights[i]
+        }
+        assert set(tree.report(query).tolist()) == expected
+        if expected:
+            samples = tree.sample(query, 300, random_state=0)
+            assert set(samples.tolist()) <= expected

@@ -1,0 +1,161 @@
+"""Tests for AIT-V: bucketing invariants, correctness, sampling and space behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AIT, AITV, IntervalDataset
+from repro.stats import chi_square_uniformity
+
+
+class TestBucketing:
+    def test_default_bucket_size_is_log_n(self, random_dataset):
+        index = AITV(random_dataset)
+        n = len(random_dataset)
+        assert index.bucket_size == int(np.ceil(np.log2(n)))
+        assert index.bucket_count == int(np.ceil(n / index.bucket_size))
+
+    def test_every_interval_in_exactly_one_bucket(self, random_dataset):
+        index = AITV(random_dataset)
+        members = index._bucket_members
+        real = members[members >= 0]
+        assert sorted(real.tolist()) == list(range(len(random_dataset)))
+
+    def test_bucket_of_returns_owning_bucket(self, random_dataset):
+        index = AITV(random_dataset)
+        for interval_id in (0, 5, len(random_dataset) - 1):
+            bucket = index.bucket_of(interval_id)
+            assert interval_id in index._bucket_members[bucket].tolist()
+
+    def test_bucket_of_unknown_raises(self, random_dataset):
+        index = AITV(random_dataset)
+        with pytest.raises(KeyError):
+            index.bucket_of(len(random_dataset) + 100)
+
+    def test_virtual_interval_spans_its_members(self, random_dataset):
+        index = AITV(random_dataset)
+        virtual = index._virtual_dataset
+        for bucket in range(index.bucket_count):
+            members = index._bucket_members[bucket]
+            members = members[members >= 0]
+            assert virtual.lefts[bucket] == pytest.approx(random_dataset.lefts[members].min())
+            assert virtual.rights[bucket] == pytest.approx(random_dataset.rights[members].max())
+
+    def test_explicit_bucket_size(self, random_dataset):
+        index = AITV(random_dataset, bucket_size=4)
+        assert index.bucket_size == 4
+
+    def test_invalid_bucket_size_raises(self, random_dataset):
+        with pytest.raises(ValueError):
+            AITV(random_dataset, bucket_size=0)
+
+    def test_single_interval_dataset(self):
+        index = AITV(IntervalDataset([1.0], [2.0]))
+        assert index.bucket_count == 1
+        assert index.count((0.0, 5.0)) == 1
+        assert set(index.sample((0.0, 5.0), 10, random_state=0).tolist()) == {0}
+
+
+class TestCorrectness:
+    def test_count_and_report_match_oracle(self, random_dataset, make_queries, ground_truth):
+        index = AITV(random_dataset)
+        for query in make_queries(random_dataset, count=30, extent=0.07):
+            truth = ground_truth(random_dataset, query)
+            assert set(index.report(query).tolist()) == truth
+            assert index.count(query) == len(truth)
+
+    def test_count_virtual_upper_bounds_bucket_hits(self, random_dataset, make_queries):
+        index = AITV(random_dataset)
+        for query in make_queries(random_dataset, count=10):
+            assert index.count_virtual(query) <= index.bucket_count
+
+    def test_report_on_clustered_data(self, make_random_dataset, make_queries, ground_truth):
+        dataset = make_random_dataset(n=500, seed=21, kind="clustered")
+        index = AITV(dataset)
+        for query in make_queries(dataset, count=15):
+            assert set(index.report(query).tolist()) == ground_truth(dataset, query)
+
+    def test_empty_region(self, random_dataset):
+        index = AITV(random_dataset)
+        _, hi = random_dataset.domain()
+        assert index.count((hi + 5.0, hi + 6.0)) == 0
+        assert index.sample((hi + 5.0, hi + 6.0), 10, random_state=0).shape == (0,)
+
+
+class TestSampling:
+    def test_samples_are_members_of_result_set(self, random_dataset, make_queries, ground_truth):
+        index = AITV(random_dataset)
+        for query in make_queries(random_dataset, count=15):
+            truth = ground_truth(random_dataset, query)
+            if not truth:
+                continue
+            samples = index.sample(query, 300, random_state=2)
+            assert samples.shape == (300,)
+            assert set(samples.tolist()) <= truth
+
+    def test_sampling_uniformity(self, random_dataset, make_queries, ground_truth):
+        index = AITV(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.15, seed=31)[0]
+        truth = sorted(ground_truth(random_dataset, query))
+        assert len(truth) >= 10
+        samples = index.sample(query, 40 * len(truth), random_state=5)
+        fit = chi_square_uniformity(samples.tolist(), truth)
+        assert not fit.rejects_uniformity(alpha=1e-4)
+
+    def test_candidate_draw_overhead_is_moderate(self, make_random_dataset, make_queries):
+        """The paper observes ~1.02-1.09 candidate draws per accepted sample."""
+        dataset = make_random_dataset(n=3000, seed=40)
+        index = AITV(dataset)
+        query = make_queries(dataset, count=1, extent=0.2, seed=41)[0]
+        samples = index.sample(query, 1000, random_state=6)
+        assert samples.shape == (1000,)
+        assert index.last_candidate_draws < 20 * 1000
+
+    def test_fallback_terminates_when_rejection_never_succeeds(self):
+        # Two buckets whose virtual intervals overlap the query, but only one real
+        # interval does; with a hostile bucket size most draws reject, and a query
+        # hitting a gap between members exercises the exact fallback.
+        lefts = [0.0, 100.0, 0.5, 99.0]
+        rights = [1.0, 101.0, 1.5, 100.5]
+        dataset = IntervalDataset(lefts, rights)
+        index = AITV(dataset, bucket_size=2, max_rejection_rounds=2)
+        # Query an area covered by the virtual span [0, 101] but by no real interval.
+        samples = index.sample((50.0, 60.0), 5, random_state=0)
+        assert samples.shape == (0,)
+
+    def test_fallback_fills_samples_when_acceptance_is_rare(self):
+        lefts = [0.0, 1000.0]
+        rights = [1.0, 1001.0]
+        dataset = IntervalDataset(lefts, rights)
+        index = AITV(dataset, bucket_size=2, max_rejection_rounds=1)
+        samples = index.sample((999.0, 1002.0), 20, random_state=0)
+        assert samples.shape == (20,)
+        assert set(samples.tolist()) == {1}
+
+    def test_sample_zero(self, random_dataset, make_queries):
+        index = AITV(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        assert index.sample(query, 0, random_state=0).shape == (0,)
+
+    def test_on_empty_raise(self, random_dataset):
+        from repro import EmptyResultError
+
+        index = AITV(random_dataset)
+        _, hi = random_dataset.domain()
+        with pytest.raises(EmptyResultError):
+            index.sample((hi + 10.0, hi + 11.0), 5, on_empty="raise")
+
+
+class TestSpace:
+    def test_ait_v_uses_less_memory_than_ait(self, make_random_dataset):
+        dataset = make_random_dataset(n=4000, seed=50)
+        ait = AIT(dataset)
+        ait_v = AITV(dataset)
+        assert ait_v.memory_bytes() < ait.memory_bytes()
+
+    def test_virtual_tree_is_much_smaller(self, make_random_dataset):
+        dataset = make_random_dataset(n=4000, seed=51)
+        index = AITV(dataset)
+        assert index.virtual_tree.size == index.bucket_count
+        assert index.bucket_count <= len(dataset) // index.bucket_size + 1

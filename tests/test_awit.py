@@ -1,0 +1,133 @@
+"""Tests for the AWIT: prefix-sum consistency, weighted counting and weighted sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import AIT, AWIT, IntervalDataset, ListKind
+from repro.stats import chi_square_weighted
+
+
+class TestStructure:
+    def test_awit_is_weighted_ait(self, weighted_dataset):
+        tree = AWIT(weighted_dataset)
+        assert tree.is_weighted
+        assert isinstance(tree, AIT)
+
+    def test_prefix_arrays_are_consistent_with_weights(self, weighted_dataset):
+        tree = AWIT(weighted_dataset)
+        weights = weighted_dataset.weights
+        for node in tree.iter_nodes():
+            for kind in ListKind:
+                ids = node.list_ids(kind)
+                if ids.shape[0] == 0:
+                    continue
+                prefix = node.list_weight_prefix(kind)
+                np.testing.assert_allclose(prefix, np.cumsum(weights[ids]), rtol=1e-9)
+
+    def test_unweighted_dataset_gives_unit_weights(self, random_dataset):
+        tree = AWIT(random_dataset)
+        lo, hi = random_dataset.domain()
+        assert tree.total_weight((lo, hi)) == pytest.approx(len(random_dataset))
+
+    def test_plain_ait_has_no_prefix_arrays(self, weighted_dataset):
+        tree = AIT(weighted_dataset)
+        with pytest.raises(ValueError):
+            tree.root.list_weight_prefix(ListKind.STAB_BY_LEFT)
+
+    def test_memory_larger_than_plain_ait(self, weighted_dataset):
+        assert AWIT(weighted_dataset).memory_bytes() > AIT(weighted_dataset).memory_bytes()
+
+
+class TestWeightedCounting:
+    def test_total_weight_matches_oracle(self, weighted_dataset, make_queries):
+        tree = AWIT(weighted_dataset)
+        for query in make_queries(weighted_dataset, count=25):
+            truth_ids = weighted_dataset.overlap_indices(*query)
+            expected = float(weighted_dataset.weights[truth_ids].sum())
+            assert tree.total_weight(query) == pytest.approx(expected, rel=1e-9)
+
+    def test_total_weight_empty_region_is_zero(self, weighted_dataset):
+        tree = AWIT(weighted_dataset)
+        _, hi = weighted_dataset.domain()
+        assert tree.total_weight((hi + 5.0, hi + 6.0)) == 0.0
+
+    def test_count_and_report_still_exact(self, weighted_dataset, make_queries, ground_truth):
+        tree = AWIT(weighted_dataset)
+        for query in make_queries(weighted_dataset, count=20):
+            truth = ground_truth(weighted_dataset, query)
+            assert set(tree.report(query).tolist()) == truth
+            assert tree.count(query) == len(truth)
+
+    def test_weights_of_accessor(self, weighted_dataset):
+        tree = AWIT(weighted_dataset)
+        ids = np.array([0, 1, 2])
+        np.testing.assert_allclose(tree.weights_of(ids), weighted_dataset.weights[ids])
+
+
+class TestWeightedSampling:
+    def test_samples_are_members(self, weighted_dataset, make_queries, ground_truth):
+        tree = AWIT(weighted_dataset)
+        for query in make_queries(weighted_dataset, count=10):
+            truth = ground_truth(weighted_dataset, query)
+            if not truth:
+                continue
+            samples = tree.sample(query, 200, random_state=1)
+            assert set(samples.tolist()) <= truth
+
+    def test_sampling_distribution_tracks_weights(self, weighted_dataset, make_queries, ground_truth):
+        tree = AWIT(weighted_dataset)
+        query = make_queries(weighted_dataset, count=1, extent=0.15, seed=3)[0]
+        truth = sorted(ground_truth(weighted_dataset, query))
+        assert len(truth) >= 10
+        weights = weighted_dataset.weights[truth]
+        samples = tree.sample(query, 60 * len(truth), random_state=9)
+        fit = chi_square_weighted(samples.tolist(), truth, weights.tolist())
+        assert not fit.rejects_uniformity(alpha=1e-4)
+
+    def test_zero_weight_interval_never_sampled(self):
+        dataset = IntervalDataset([0.0, 1.0, 2.0], [10.0, 11.0, 12.0], weights=[5.0, 0.0, 5.0])
+        tree = AWIT(dataset)
+        samples = tree.sample((0.0, 20.0), 3000, random_state=0)
+        assert 1 not in set(samples.tolist())
+        assert set(samples.tolist()) == {0, 2}
+
+    def test_heavy_weight_dominates(self):
+        dataset = IntervalDataset([0.0, 1.0], [10.0, 11.0], weights=[1.0, 99.0])
+        tree = AWIT(dataset)
+        samples = tree.sample((0.0, 20.0), 10_000, random_state=4)
+        share = float(np.mean(samples == 1))
+        assert share == pytest.approx(0.99, abs=0.01)
+
+    def test_deterministic_given_seed(self, weighted_dataset, make_queries):
+        tree = AWIT(weighted_dataset)
+        query = make_queries(weighted_dataset, count=1)[0]
+        np.testing.assert_array_equal(
+            tree.sample(query, 100, random_state=7), tree.sample(query, 100, random_state=7)
+        )
+
+    def test_empty_region_behaviour(self, weighted_dataset):
+        from repro import EmptyResultError
+
+        tree = AWIT(weighted_dataset)
+        _, hi = weighted_dataset.domain()
+        assert tree.sample((hi + 5.0, hi + 6.0), 10).shape == (0,)
+        with pytest.raises(EmptyResultError):
+            tree.sample((hi + 5.0, hi + 6.0), 10, on_empty="raise")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        weights=st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=40).filter(
+            lambda w: sum(w) > 0
+        )
+    )
+    def test_only_positive_weight_members_sampled(self, weights):
+        n = len(weights)
+        lefts = np.arange(n, dtype=float)
+        rights = lefts + 5.0
+        dataset = IntervalDataset(lefts, rights, weights=[float(w) for w in weights])
+        tree = AWIT(dataset)
+        samples = tree.sample((0.0, float(n + 10)), 300, random_state=0)
+        assert all(weights[i] > 0 for i in samples.tolist())

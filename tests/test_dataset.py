@@ -1,0 +1,140 @@
+"""Unit tests for the IntervalDataset columnar container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    EmptyDatasetError,
+    Interval,
+    IntervalDataset,
+    InvalidIntervalError,
+    InvalidWeightError,
+)
+
+
+class TestConstruction:
+    def test_from_arrays(self):
+        ds = IntervalDataset([0.0, 5.0], [2.0, 9.0])
+        assert len(ds) == 2
+        assert not ds.is_weighted
+        assert list(ds.weights) == [1.0, 1.0]
+
+    def test_from_pairs(self):
+        ds = IntervalDataset.from_pairs([(0, 2), (5, 9)])
+        assert len(ds) == 2
+        assert ds[1].right == 9.0
+
+    def test_from_intervals_preserves_weights_and_payloads(self):
+        ds = IntervalDataset.from_intervals(
+            [Interval(0, 1, weight=2.0, data="a"), Interval(2, 3, weight=5.0, data="b")]
+        )
+        assert ds.is_weighted
+        assert ds[0].weight == 2.0
+        assert ds[1].data == "b"
+
+    def test_from_intervals_without_weights_is_unweighted(self):
+        ds = IntervalDataset.from_intervals([Interval(0, 1), Interval(2, 3)])
+        assert not ds.is_weighted
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalDataset([0.0, 1.0], [2.0])
+
+    def test_inverted_interval_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalDataset([5.0], [1.0])
+
+    def test_non_finite_endpoint_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalDataset([float("nan")], [1.0])
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(InvalidWeightError):
+            IntervalDataset([0.0], [1.0], weights=[-2.0])
+
+    def test_wrong_weight_length_raises(self):
+        with pytest.raises(InvalidWeightError):
+            IntervalDataset([0.0, 1.0], [1.0, 2.0], weights=[1.0])
+
+    def test_wrong_payload_length_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalDataset([0.0], [1.0], payloads=["a", "b"])
+
+    def test_two_dimensional_arrays_raise(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalDataset(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_arrays_are_copied(self):
+        lefts = np.array([0.0, 1.0])
+        ds = IntervalDataset(lefts, [2.0, 3.0])
+        lefts[0] = 99.0
+        assert ds.lefts[0] == 0.0
+
+    def test_empty_dataset_is_constructible(self):
+        ds = IntervalDataset([], [])
+        assert len(ds) == 0
+        with pytest.raises(EmptyDatasetError):
+            ds.domain()
+        with pytest.raises(EmptyDatasetError):
+            ds.require_nonempty()
+
+
+class TestAccess:
+    def test_getitem_and_negative_index(self):
+        ds = IntervalDataset([0.0, 5.0], [2.0, 9.0])
+        assert ds[0] == Interval(0.0, 2.0)
+        assert ds[-1] == Interval(5.0, 9.0)
+
+    def test_getitem_out_of_range(self):
+        ds = IntervalDataset([0.0], [1.0])
+        with pytest.raises(IndexError):
+            ds[5]
+
+    def test_iteration_yields_intervals(self):
+        ds = IntervalDataset([0.0, 5.0], [2.0, 9.0])
+        items = list(ds)
+        assert items == [Interval(0.0, 2.0), Interval(5.0, 9.0)]
+
+    def test_domain_and_lengths(self):
+        ds = IntervalDataset([0.0, 5.0], [2.0, 9.0])
+        assert ds.domain() == (0.0, 9.0)
+        assert ds.domain_size() == 9.0
+        assert list(ds.lengths()) == [2.0, 4.0]
+
+    def test_total_weight(self):
+        ds = IntervalDataset([0.0, 1.0], [1.0, 2.0], weights=[2.0, 3.0])
+        assert ds.total_weight() == 5.0
+
+
+class TestQueriesAndSubset:
+    def test_overlap_mask_and_indices(self):
+        ds = IntervalDataset([0.0, 5.0, 10.0], [2.0, 9.0, 12.0])
+        assert list(ds.overlap_mask(1.0, 6.0)) == [True, True, False]
+        assert list(ds.overlap_indices(1.0, 6.0)) == [0, 1]
+        assert ds.overlap_count(1.0, 6.0) == 2
+
+    def test_overlap_touching_boundary_counts(self):
+        ds = IntervalDataset([0.0], [5.0])
+        assert ds.overlap_count(5.0, 9.0) == 1
+        assert ds.overlap_count(5.000001, 9.0) == 0
+
+    def test_subset_preserves_weights_and_payloads(self):
+        ds = IntervalDataset([0.0, 5.0, 10.0], [2.0, 9.0, 12.0], weights=[1.0, 2.0, 3.0], payloads=["a", "b", "c"])
+        sub = ds.subset([2, 0])
+        assert len(sub) == 2
+        assert sub[0].right == 12.0
+        assert sub[0].weight == 3.0
+        assert sub.payloads == ["c", "a"]
+
+    def test_with_weights(self):
+        ds = IntervalDataset([0.0, 5.0], [2.0, 9.0])
+        weighted = ds.with_weights([10.0, 20.0])
+        assert weighted.is_weighted
+        assert weighted.total_weight() == 30.0
+        assert not ds.is_weighted
+
+    def test_repr_mentions_size(self):
+        ds = IntervalDataset([0.0], [1.0])
+        assert "1" in repr(ds)

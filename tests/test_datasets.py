@@ -1,0 +1,209 @@
+"""Tests for dataset generators, statistics, query workloads and the CSV loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IntervalDataset, InvalidIntervalError, InvalidQueryError
+from repro.core.errors import EmptyDatasetError
+from repro.datasets import (
+    PAPER_DATASETS,
+    attach_random_weights,
+    compute_statistics,
+    dataset_names,
+    generate_clustered,
+    generate_dataset,
+    generate_paper_dataset,
+    generate_point_intervals,
+    generate_queries,
+    generate_uniform,
+    load_csv,
+    save_csv,
+    stabbing_queries,
+)
+
+
+class TestPaperSpecs:
+    def test_all_four_datasets_registered(self):
+        assert dataset_names() == ["book", "btc", "renfe", "taxi"]
+
+    def test_spec_values_match_table2(self):
+        spec = PAPER_DATASETS["taxi"]
+        assert spec.cardinality == 106_685_540
+        assert spec.domain_size == 79_901_357
+        assert spec.median_length == 663
+
+    def test_scaled_spec(self):
+        assert PAPER_DATASETS["book"].scaled(1000).cardinality == 1000
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", ["book", "btc", "renfe", "taxi"])
+    def test_generated_statistics_track_spec(self, name):
+        spec = PAPER_DATASETS[name]
+        dataset = generate_paper_dataset(name, n=20_000, random_state=0)
+        stats = compute_statistics(dataset)
+        assert stats.cardinality == 20_000
+        assert stats.domain_size <= spec.domain_size
+        assert stats.min_length >= spec.min_length - 1e-6
+        assert stats.max_length <= spec.max_length + 1e-6
+        # The median should land within a factor of ~2 of the published value.
+        assert 0.5 * spec.median_length <= stats.median_length <= 2.0 * spec.median_length
+
+    def test_unknown_dataset_name_raises(self):
+        with pytest.raises(KeyError):
+            generate_paper_dataset("bogus")
+
+    def test_case_insensitive_name(self):
+        assert len(generate_paper_dataset("BTC", n=100)) == 100
+
+    def test_weighted_generation(self):
+        dataset = generate_paper_dataset("book", n=500, weighted=True, random_state=1)
+        assert dataset.is_weighted
+        assert dataset.weights.min() >= 1.0
+        assert dataset.weights.max() <= 100.0
+
+    def test_generation_is_deterministic_per_seed(self):
+        a = generate_paper_dataset("btc", n=300, random_state=7)
+        b = generate_paper_dataset("btc", n=300, random_state=7)
+        np.testing.assert_array_equal(a.lefts, b.lefts)
+        np.testing.assert_array_equal(a.rights, b.rights)
+
+    def test_generate_dataset_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_dataset(PAPER_DATASETS["book"], n=0)
+
+    def test_generate_uniform(self):
+        dataset = generate_uniform(1000, domain=(0.0, 100.0), mean_length=5.0, random_state=0)
+        assert len(dataset) == 1000
+        lo, hi = dataset.domain()
+        assert lo >= 0.0 and hi <= 100.0
+
+    def test_generate_uniform_invalid_domain(self):
+        with pytest.raises(ValueError):
+            generate_uniform(10, domain=(5.0, 5.0))
+
+    def test_generate_clustered(self):
+        dataset = generate_clustered(500, clusters=3, random_state=0)
+        assert len(dataset) == 500
+
+    def test_generate_clustered_invalid(self):
+        with pytest.raises(ValueError):
+            generate_clustered(10, clusters=0)
+
+    def test_generate_point_intervals(self):
+        dataset = generate_point_intervals(200, random_state=0)
+        assert np.all(dataset.lengths() == 0.0)
+
+    def test_attach_random_weights(self):
+        dataset = generate_uniform(100, random_state=0)
+        weighted = attach_random_weights(dataset, low=5, high=10, random_state=1)
+        assert weighted.is_weighted
+        assert weighted.weights.min() >= 5
+        assert weighted.weights.max() <= 10
+
+    def test_attach_random_weights_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            attach_random_weights(generate_uniform(10), low=10, high=5)
+
+
+class TestStatistics:
+    def test_compute_statistics_simple(self):
+        dataset = IntervalDataset([0.0, 0.0], [2.0, 10.0])
+        stats = compute_statistics(dataset)
+        assert stats.cardinality == 2
+        assert stats.domain_size == 10.0
+        assert stats.min_length == 2.0
+        assert stats.max_length == 10.0
+        assert stats.mean_length == 6.0
+        assert stats.as_row()["median_length"] == 6.0
+
+    def test_compute_statistics_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            compute_statistics(IntervalDataset([], []))
+
+
+class TestQueryWorkloads:
+    def test_queries_lie_in_domain_with_requested_extent(self):
+        dataset = generate_uniform(1000, domain=(0.0, 1000.0), random_state=0)
+        workload = generate_queries(dataset, count=100, extent_fraction=0.08, random_state=1)
+        assert len(workload) == 100
+        lo, hi = dataset.domain()
+        extent = (hi - lo) * 0.08
+        for left, right in workload:
+            assert lo <= left <= right <= hi + 1e-9
+            assert right - left <= extent + 1e-9
+
+    def test_workload_indexing_and_iteration(self):
+        workload = generate_queries((0.0, 100.0), count=10, random_state=0)
+        assert workload[0] == list(workload)[0]
+        assert workload.extent_fraction == 0.08
+
+    def test_explicit_domain_pair(self):
+        workload = generate_queries((10.0, 20.0), count=5, extent_fraction=0.5, random_state=2)
+        for left, right in workload:
+            assert 10.0 <= left <= right <= 20.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidQueryError):
+            generate_queries((0.0, 10.0), count=0)
+        with pytest.raises(InvalidQueryError):
+            generate_queries((0.0, 10.0), extent_fraction=0.0)
+        with pytest.raises(InvalidQueryError):
+            generate_queries((10.0, 10.0))
+
+    def test_determinism(self):
+        a = generate_queries((0.0, 10.0), count=5, random_state=3)
+        b = generate_queries((0.0, 10.0), count=5, random_state=3)
+        assert a.queries == b.queries
+
+    def test_stabbing_queries(self):
+        points = stabbing_queries((0.0, 50.0), count=20, random_state=0)
+        assert len(points) == 20
+        assert all(0.0 <= p <= 50.0 for p in points)
+
+    def test_stabbing_queries_invalid_count(self):
+        with pytest.raises(InvalidQueryError):
+            stabbing_queries((0.0, 1.0), count=0)
+
+
+class TestCsvLoader:
+    def test_round_trip(self, tmp_path):
+        dataset = generate_uniform(50, random_state=0)
+        path = tmp_path / "intervals.csv"
+        save_csv(dataset, path)
+        loaded = load_csv(path, left_column="left", right_column="right", weight_column="weight")
+        assert len(loaded) == 50
+        np.testing.assert_allclose(loaded.lefts, dataset.lefts)
+        np.testing.assert_allclose(loaded.rights, dataset.rights)
+
+    def test_positional_columns_without_header(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.0,2.0\n3.0,4.0\n")
+        loaded = load_csv(path, left_column=0, right_column=1)
+        assert len(loaded) == 2
+        assert not loaded.is_weighted
+
+    def test_limit(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("\n".join(f"{i},{i + 1}" for i in range(100)))
+        assert len(load_csv(path, 0, 1, limit=10)) == 10
+
+    def test_invalid_row_raises_by_default(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,2.0\n5.0,1.0\n")
+        with pytest.raises(InvalidIntervalError):
+            load_csv(path, 0, 1)
+
+    def test_skip_invalid_rows(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,2.0\nnot,numbers\n5.0,1.0\n3.0,4.0\n")
+        loaded = load_csv(path, 0, 1, skip_invalid=True)
+        assert len(loaded) == 2
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(EmptyDatasetError):
+            load_csv(path, 0, 1)

@@ -1,0 +1,103 @@
+"""Oracle tests and cross-structure integration consistency checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AIT, AITV, AWIT, IntervalDataset
+from repro.baselines import (
+    HINT,
+    KDS,
+    ExhaustiveScan,
+    IntervalTree,
+    KDTreeIndex,
+    PeriodIndex,
+    TimelineIndex,
+)
+from repro.stats import chi_square_weighted
+
+
+class TestExhaustiveScan:
+    def test_report_count_total_weight(self, weighted_dataset, make_queries):
+        oracle = ExhaustiveScan(weighted_dataset, weighted=True)
+        assert oracle.is_weighted
+        for query in make_queries(weighted_dataset, count=10):
+            ids = weighted_dataset.overlap_indices(*query)
+            assert set(oracle.report(query).tolist()) == set(ids.tolist())
+            assert oracle.count(query) == ids.shape[0]
+            assert oracle.total_weight(query) == pytest.approx(float(weighted_dataset.weights[ids].sum()))
+
+    def test_weighted_sampling_distribution(self, weighted_dataset, make_queries, ground_truth):
+        oracle = ExhaustiveScan(weighted_dataset, weighted=True)
+        query = make_queries(weighted_dataset, count=1, extent=0.15)[0]
+        truth = sorted(ground_truth(weighted_dataset, query))
+        weights = weighted_dataset.weights[truth]
+        samples = oracle.sample(query, 50 * len(truth), random_state=0)
+        fit = chi_square_weighted(samples.tolist(), truth, weights.tolist())
+        assert not fit.rejects_uniformity(alpha=1e-4)
+
+    def test_unweighted_sampling_membership(self, random_dataset, make_queries, ground_truth):
+        oracle = ExhaustiveScan(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        samples = oracle.sample(query, 50, random_state=1)
+        assert set(samples.tolist()) <= ground_truth(random_dataset, query)
+
+    def test_empty_result(self, random_dataset):
+        oracle = ExhaustiveScan(random_dataset)
+        _, hi = random_dataset.domain()
+        assert oracle.sample((hi + 1.0, hi + 2.0), 5).shape == (0,)
+
+
+class TestCrossStructureConsistency:
+    """Every index must answer exactly like the brute-force oracle."""
+
+    @pytest.mark.parametrize("kind", ["uniform", "long", "points", "clustered", "duplicates"])
+    def test_all_structures_agree_on_reporting(self, make_random_dataset, make_queries, kind):
+        dataset = make_random_dataset(n=400, seed=hash(kind) % 1000, kind=kind)
+        structures = {
+            "ait": AIT(dataset),
+            "ait_v": AITV(dataset),
+            "awit": AWIT(dataset),
+            "interval_tree": IntervalTree(dataset),
+            "hint": HINT(dataset),
+            "kds": KDS(dataset),
+            "kdtree": KDTreeIndex(dataset),
+            "timeline": TimelineIndex(dataset),
+            "period": PeriodIndex(dataset),
+        }
+        for query in make_queries(dataset, count=10, extent=0.1):
+            expected = set(dataset.overlap_indices(*query).tolist())
+            for name, structure in structures.items():
+                assert set(structure.report(query).tolist()) == expected, name
+
+    def test_all_structures_agree_on_counting(self, make_random_dataset, make_queries):
+        dataset = make_random_dataset(n=600, seed=77)
+        structures = [AIT(dataset), AITV(dataset), IntervalTree(dataset), HINT(dataset), KDTreeIndex(dataset)]
+        for query in make_queries(dataset, count=15, extent=0.25):
+            expected = dataset.overlap_count(*query)
+            for structure in structures:
+                assert structure.count(query) == expected
+
+    def test_all_samplers_return_subsets_of_the_same_truth(self, make_random_dataset, make_queries):
+        dataset = make_random_dataset(n=500, seed=88, weighted=True)
+        query = make_queries(dataset, count=1, extent=0.15)[0]
+        truth = set(dataset.overlap_indices(*query).tolist())
+        samplers = [
+            AIT(dataset),
+            AITV(dataset),
+            AWIT(dataset),
+            IntervalTree(dataset, weighted=True),
+            HINT(dataset, weighted=True),
+            KDS(dataset, weighted=True),
+            ExhaustiveScan(dataset, weighted=True),
+        ]
+        for sampler in samplers:
+            samples = sampler.sample(query, 200, random_state=5)
+            assert set(samples.tolist()) <= truth
+
+    def test_structures_survive_extreme_duplicate_dataset(self):
+        dataset = IntervalDataset([10.0] * 100, [20.0] * 100)
+        for structure in (AIT(dataset), AITV(dataset), IntervalTree(dataset), HINT(dataset), KDS(dataset)):
+            assert structure.count((15.0, 16.0)) == 100
+            assert structure.count((30.0, 40.0)) == 0

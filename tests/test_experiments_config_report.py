@@ -1,0 +1,94 @@
+"""Tests for the experiment configuration and the result/report containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentResult, format_table
+
+
+class TestExperimentConfig:
+    def test_default_preset(self):
+        config = ExperimentConfig.default()
+        assert config.datasets == ("book", "btc", "renfe", "taxi")
+        assert config.sample_size == 1000
+        assert config.extent_fraction == 0.08
+
+    def test_smoke_preset_is_smaller(self):
+        assert ExperimentConfig.smoke().dataset_size < ExperimentConfig.default().dataset_size
+
+    def test_paper_scale_preset_matches_paper_workload(self):
+        config = ExperimentConfig.paper_scale()
+        assert config.query_count == 1000
+        assert config.sample_size == 1000
+        assert config.update_count == 5000
+
+    def test_with_overrides(self):
+        config = ExperimentConfig.default().with_overrides(dataset_size=123, datasets=("btc",))
+        assert config.dataset_size == 123
+        assert config.datasets == ("btc",)
+        # original untouched (frozen dataclass semantics)
+        assert ExperimentConfig.default().dataset_size != 123
+
+    def test_seeds_are_deterministic_and_distinct(self):
+        config = ExperimentConfig.default()
+        assert config.dataset_seed("book") == config.dataset_seed("book")
+        assert config.dataset_seed("book") != config.dataset_seed("btc")
+        assert config.dataset_seed("book") != config.query_seed("book")
+        assert config.dataset_seed("book") > 0
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            ExperimentConfig.default().dataset_size = 5  # type: ignore[misc]
+
+
+class TestExperimentResult:
+    def make_result(self) -> ExperimentResult:
+        result = ExperimentResult("tableX", "Demo", columns=["algorithm", "value"])
+        result.add_row(algorithm="ait", value=1.5)
+        result.add_row(algorithm="hint", value=20.0)
+        return result
+
+    def test_add_row_and_column(self):
+        result = self.make_result()
+        assert result.column("algorithm") == ["ait", "hint"]
+        assert result.column("value") == [1.5, 20.0]
+
+    def test_row_by(self):
+        result = self.make_result()
+        assert result.row_by(algorithm="hint")["value"] == 20.0
+        with pytest.raises(KeyError):
+            result.row_by(algorithm="nope")
+
+    def test_to_text_contains_values_and_reference(self):
+        result = self.make_result()
+        result.paper_reference = [{"algorithm": "ait", "value": 0.8}]
+        result.notes = "shape check"
+        text = result.to_text()
+        assert "tableX" in text
+        assert "ait" in text
+        assert "paper reference" in text
+        assert "shape check" in text
+
+    def test_to_csv(self, tmp_path):
+        result = self.make_result()
+        path = tmp_path / "out.csv"
+        result.to_csv(path)
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "algorithm,value"
+        assert len(content) == 3
+
+    def test_to_markdown(self):
+        md = self.make_result().to_markdown()
+        assert md.startswith("| algorithm | value |")
+        assert "| ait |" in md
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], ["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty_rows(self):
+        text = format_table([], ["a", "b"])
+        assert "a" in text

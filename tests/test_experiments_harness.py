@@ -1,0 +1,102 @@
+"""Tests for the measurement harness, memory estimation and the experiment grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AIT
+from repro.experiments import (
+    ExperimentConfig,
+    NON_WEIGHTED_ALGORITHMS,
+    WEIGHTED_ALGORITHMS,
+    build_dataset,
+    build_workload,
+    deep_sizeof,
+    make_adapters,
+    measure_build,
+    measure_counting,
+    measure_query_timings,
+    run_grid,
+    structure_memory_bytes,
+)
+
+TINY = ExperimentConfig.smoke().with_overrides(
+    datasets=("btc",), dataset_size=3000, query_count=5, sample_size=100, update_count=20
+)
+
+
+class TestAdapters:
+    def test_nonweighted_registry(self):
+        adapters = make_adapters(NON_WEIGHTED_ALGORITHMS)
+        assert [a.name for a in adapters] == list(NON_WEIGHTED_ALGORITHMS)
+
+    def test_weighted_registry(self):
+        adapters = make_adapters(WEIGHTED_ALGORITHMS, weighted=True)
+        assert [a.name for a in adapters] == list(WEIGHTED_ALGORITHMS)
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            make_adapters(["bogus"])
+
+    def test_adapter_roundtrip_on_tiny_data(self):
+        dataset = build_dataset(TINY, "btc")
+        workload = build_workload(TINY, dataset, "btc")
+        for adapter in make_adapters(("ait", "hint")):
+            index, seconds = measure_build(adapter, dataset)
+            assert seconds >= 0.0
+            timings = measure_query_timings(adapter, index, workload, 50, seed=0)
+            assert timings.candidate_us >= 0.0
+            assert timings.sampling_us >= 0.0
+            assert timings.total_us == pytest.approx(timings.candidate_us + timings.sampling_us)
+
+
+class TestDatasetAndWorkloadBuilders:
+    def test_build_dataset_respects_size_and_seed(self):
+        a = build_dataset(TINY, "btc")
+        b = build_dataset(TINY, "btc")
+        assert len(a) == TINY.dataset_size
+        np.testing.assert_array_equal(a.lefts, b.lefts)
+
+    def test_build_dataset_weighted(self):
+        assert build_dataset(TINY, "btc", weighted=True).is_weighted
+
+    def test_build_workload_extent_override(self):
+        dataset = build_dataset(TINY, "btc")
+        workload = build_workload(TINY, dataset, "btc", extent_fraction=0.5, count=7)
+        assert len(workload) == 7
+        assert workload.extent_fraction == 0.5
+
+
+class TestMeasurement:
+    def test_measure_counting_positive(self):
+        dataset = build_dataset(TINY, "btc")
+        workload = build_workload(TINY, dataset, "btc")
+        tree = AIT(dataset)
+        assert measure_counting(tree, workload) > 0.0
+
+    def test_structure_memory_prefers_memory_bytes(self):
+        dataset = build_dataset(TINY, "btc")
+        tree = AIT(dataset)
+        assert structure_memory_bytes(tree) == tree.memory_bytes()
+
+    def test_deep_sizeof_fallback(self):
+        payload = {"a": [1, 2, 3], "b": np.zeros(100), "c": ("x", {"y": 2.0})}
+        size = deep_sizeof(payload)
+        assert size > 800  # at least the numpy buffer
+
+    def test_deep_sizeof_handles_cycles(self):
+        a: list = []
+        a.append(a)
+        assert deep_sizeof(a) > 0
+
+
+class TestGrid:
+    def test_grid_covers_every_pair(self):
+        cells = run_grid(TINY, ("ait", "interval_tree"))
+        pairs = {(c.dataset, c.algorithm) for c in cells}
+        assert pairs == {("btc", "ait"), ("btc", "interval_tree")}
+        for cell in cells:
+            assert cell.build_seconds >= 0
+            assert cell.memory_bytes > 0
+            assert cell.timings.total_us >= 0

@@ -1,0 +1,93 @@
+"""Tests for the experiment registry (coverage of every paper table/figure) and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentConfig, list_experiments, run_experiment
+from repro.experiments.cli import build_parser, main
+
+TINY = ExperimentConfig.smoke().with_overrides(
+    datasets=("btc",),
+    dataset_size=2500,
+    query_count=4,
+    sample_size=60,
+    update_count=15,
+    extent_sweep=(0.05, 0.2),
+    sample_size_sweep=(20, 60),
+    dataset_size_fractions=(0.5, 1.0),
+)
+
+#: Every table and figure of the paper's evaluation section must be registered.
+EXPECTED_IDS = {
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+    "table9", "table10", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+}
+
+
+class TestRegistry:
+    def test_every_paper_table_and_figure_is_registered(self):
+        assert set(list_experiments()) == EXPECTED_IDS
+
+    def test_entries_have_titles(self):
+        assert all(entry.title for entry in EXPERIMENTS.values())
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99", TINY)
+
+    @pytest.mark.parametrize("experiment_id", ["table2", "table5", "table10"])
+    def test_representative_experiments_run_end_to_end(self, experiment_id):
+        result = run_experiment(experiment_id, TINY)
+        assert result.experiment_id == experiment_id
+        assert result.rows
+        assert result.paper_reference  # every experiment carries the published values
+        assert "btc" in result.columns or any("btc" in str(row.values()) for row in result.rows)
+
+    def test_update_experiment_shows_batch_speedup(self):
+        result = run_experiment("table7", TINY)
+        insertion = result.row_by(operation="Insertion")["btc"]
+        batch = result.row_by(operation="Batch insertion")["btc"]
+        assert batch <= insertion
+
+    def test_counting_experiment_favours_ait(self):
+        result = run_experiment("table10", TINY)
+        ait = result.row_by(algorithm="ait")["btc"]
+        hint = result.row_by(algorithm="hint")["btc"]
+        assert ait < hint
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table5"])
+        assert args.experiment == "table5"
+        assert args.preset == "default"
+
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == EXPECTED_IDS
+
+    def test_no_arguments_lists_experiments(self, capsys):
+        assert main([]) == 0
+        assert "table5" in capsys.readouterr().out
+
+    def test_run_single_experiment_with_overrides(self, capsys, tmp_path):
+        code = main([
+            "table2",
+            "--preset", "smoke",
+            "--dataset-size", "1500",
+            "--queries", "3",
+            "--samples", "20",
+            "--seed", "1",
+            "--datasets", "btc",
+            "--csv-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert (tmp_path / "table2.csv").exists()
+
+    def test_invalid_experiment_id_raises(self):
+        with pytest.raises(KeyError):
+            main(["tableXYZ", "--preset", "smoke"])

@@ -1,0 +1,97 @@
+"""Tests for the extension features beyond the paper's core algorithms.
+
+Covers sampling without replacement (``sample_distinct``) and the AIT-V
+partition-strategy ablation switch (pair sort vs random bucketing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AIT, AITV, AWIT, InvalidQueryError
+
+
+class TestSampleDistinct:
+    def test_returns_distinct_members(self, random_dataset, make_queries, ground_truth):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.15)[0]
+        truth = ground_truth(random_dataset, query)
+        distinct = tree.sample_distinct(query, 20, random_state=0)
+        assert len(distinct) == min(20, len(truth))
+        assert len(set(distinct.tolist())) == len(distinct)
+        assert set(distinct.tolist()) <= truth
+
+    def test_requesting_more_than_population_returns_everything(self, random_dataset, make_queries, ground_truth):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.02)[0]
+        truth = ground_truth(random_dataset, query)
+        distinct = tree.sample_distinct(query, len(truth) + 50, random_state=1)
+        assert set(distinct.tolist()) == truth
+
+    def test_empty_result_returns_empty(self, random_dataset):
+        tree = AIT(random_dataset)
+        _, hi = random_dataset.domain()
+        assert tree.sample_distinct((hi + 5.0, hi + 6.0), 10, random_state=0).shape == (0,)
+
+    def test_zero_samples(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        assert tree.sample_distinct(query, 0).shape == (0,)
+
+    def test_negative_raises(self, random_dataset, make_queries):
+        tree = AIT(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        with pytest.raises(InvalidQueryError):
+            tree.sample_distinct(query, -1)
+
+    def test_works_on_ait_v_and_awit(self, weighted_dataset, make_queries, ground_truth):
+        query = make_queries(weighted_dataset, count=1, extent=0.1)[0]
+        truth = ground_truth(weighted_dataset, query)
+        for index in (AITV(weighted_dataset), AWIT(weighted_dataset)):
+            distinct = index.sample_distinct(query, 15, random_state=2)
+            assert len(set(distinct.tolist())) == len(distinct) == min(15, len(truth))
+            assert set(distinct.tolist()) <= truth
+
+    def test_every_subset_reachable_over_many_seeds(self, make_random_dataset):
+        dataset = make_random_dataset(n=30, seed=3, domain=10.0, kind="long")
+        tree = AIT(dataset)
+        lo, hi = dataset.domain()
+        seen: set[int] = set()
+        for seed in range(40):
+            seen.update(tree.sample_distinct((lo, hi), 5, random_state=seed).tolist())
+        assert seen == set(range(len(dataset)))
+
+
+class TestPartitionStrategies:
+    def test_random_partition_is_still_exact(self, random_dataset, make_queries, ground_truth):
+        index = AITV(random_dataset, partition="random", partition_random_state=0)
+        assert index.partition_strategy == "random"
+        for query in make_queries(random_dataset, count=15):
+            truth = ground_truth(random_dataset, query)
+            assert set(index.report(query).tolist()) == truth
+            samples = index.sample(query, 100, random_state=1)
+            if truth:
+                assert set(samples.tolist()) <= truth
+
+    def test_unknown_partition_raises(self, random_dataset):
+        with pytest.raises(ValueError):
+            AITV(random_dataset, partition="zorder")
+
+    def test_pair_sort_needs_no_more_draws_than_random(self, make_random_dataset, make_queries):
+        dataset = make_random_dataset(n=3000, seed=5)
+        queries = make_queries(dataset, count=5, extent=0.1)
+        pair_sorted = AITV(dataset, partition="pair_sort")
+        randomised = AITV(dataset, partition="random", partition_random_state=1)
+
+        def draws(index):
+            total = 0
+            for query in queries:
+                index.sample(query, 500, random_state=2)
+                total += index.last_candidate_draws
+            return total
+
+        assert draws(pair_sorted) <= draws(randomised)
+
+    def test_default_strategy_is_pair_sort(self, random_dataset):
+        assert AITV(random_dataset).partition_strategy == "pair_sort"

@@ -1,0 +1,97 @@
+"""Tests for the HINT^m hierarchical interval index baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IntervalDataset
+from repro.baselines import HINT
+from repro.stats import chi_square_uniformity
+
+
+class TestConstruction:
+    def test_default_levels(self, random_dataset):
+        index = HINT(random_dataset)
+        assert 1 <= index.num_levels <= 10
+
+    def test_explicit_levels(self, random_dataset):
+        assert HINT(random_dataset, num_levels=6).num_levels == 6
+
+    def test_invalid_levels_raise(self, random_dataset):
+        with pytest.raises(ValueError):
+            HINT(random_dataset, num_levels=0)
+
+    def test_partition_count_positive(self, random_dataset):
+        assert HINT(random_dataset).partition_count() > 0
+
+    def test_memory_bytes_positive(self, random_dataset):
+        assert HINT(random_dataset).memory_bytes() > 0
+
+
+class TestCorrectness:
+    def test_report_matches_oracle(self, random_dataset, make_queries, ground_truth):
+        index = HINT(random_dataset)
+        for query in make_queries(random_dataset, count=30):
+            assert set(index.report(query).tolist()) == ground_truth(random_dataset, query)
+
+    @pytest.mark.parametrize("levels", [1, 3, 7, 12])
+    def test_report_correct_for_any_level_count(self, random_dataset, make_queries, ground_truth, levels):
+        index = HINT(random_dataset, num_levels=levels)
+        for query in make_queries(random_dataset, count=10, seed=levels):
+            assert set(index.report(query).tolist()) == ground_truth(random_dataset, query)
+
+    def test_report_no_duplicates(self, random_dataset, make_queries):
+        index = HINT(random_dataset)
+        for query in make_queries(random_dataset, count=15, extent=0.5):
+            ids = index.report(query)
+            assert len(ids) == len(set(ids.tolist()))
+
+    def test_point_intervals(self, make_random_dataset, make_queries, ground_truth):
+        dataset = make_random_dataset(n=400, seed=33, kind="points")
+        index = HINT(dataset)
+        for query in make_queries(dataset, count=15):
+            assert set(index.report(query).tolist()) == ground_truth(dataset, query)
+
+    def test_long_intervals(self, make_random_dataset, make_queries, ground_truth):
+        dataset = make_random_dataset(n=300, seed=34, kind="long")
+        index = HINT(dataset)
+        for query in make_queries(dataset, count=15):
+            assert set(index.report(query).tolist()) == ground_truth(dataset, query)
+
+    def test_query_covering_domain(self, random_dataset):
+        index = HINT(random_dataset)
+        lo, hi = random_dataset.domain()
+        assert index.count((lo, hi)) == len(random_dataset)
+
+    def test_query_outside_domain(self, random_dataset):
+        index = HINT(random_dataset)
+        _, hi = random_dataset.domain()
+        assert index.count((hi + 10.0, hi + 20.0)) == 0
+
+    def test_identical_intervals(self):
+        dataset = IntervalDataset([5.0] * 30, [7.0] * 30)
+        index = HINT(dataset)
+        assert index.count((6.0, 6.5)) == 30
+        assert index.count((8.0, 9.0)) == 0
+
+
+class TestSampling:
+    def test_samples_are_members(self, random_dataset, make_queries, ground_truth):
+        index = HINT(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.1)[0]
+        truth = ground_truth(random_dataset, query)
+        samples = index.sample(query, 200, random_state=0)
+        assert set(samples.tolist()) <= truth
+
+    def test_sampling_uniformity(self, random_dataset, make_queries, ground_truth):
+        index = HINT(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.12, seed=8)[0]
+        truth = sorted(ground_truth(random_dataset, query))
+        samples = index.sample(query, 40 * len(truth), random_state=1)
+        assert not chi_square_uniformity(samples.tolist(), truth).rejects_uniformity(alpha=1e-4)
+
+    def test_empty_result(self, random_dataset):
+        index = HINT(random_dataset)
+        _, hi = random_dataset.domain()
+        assert index.sample((hi + 1.0, hi + 2.0), 10).shape == (0,)

@@ -1,0 +1,169 @@
+"""Unit and property tests for the Interval value type and interval algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Interval, InvalidIntervalError, InvalidWeightError
+from repro.core.interval import (
+    contains_point,
+    covers,
+    intersection_length,
+    overlaps,
+    union_span,
+    validate_endpoints,
+)
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+def make_interval(a: float, b: float) -> Interval:
+    return Interval(min(a, b), max(a, b))
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        x = Interval(1.0, 5.0)
+        assert x.left == 1.0
+        assert x.right == 5.0
+        assert x.weight == 1.0
+        assert x.data is None
+
+    def test_point_interval_is_allowed(self):
+        x = Interval(3.0, 3.0)
+        assert x.length == 0.0
+        assert x.contains_point(3.0)
+
+    def test_inverted_endpoints_raise(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5.0, 1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_non_finite_endpoints_raise(self, bad):
+        with pytest.raises(InvalidIntervalError):
+            Interval(bad, 1.0)
+        with pytest.raises(InvalidIntervalError):
+            Interval(0.0, bad)
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(InvalidWeightError):
+            Interval(0.0, 1.0, weight=-1.0)
+
+    def test_nan_weight_raises(self):
+        with pytest.raises(InvalidWeightError):
+            Interval(0.0, 1.0, weight=float("nan"))
+
+    def test_payload_does_not_affect_equality(self):
+        assert Interval(0.0, 1.0, data="a") == Interval(0.0, 1.0, data="b")
+
+    def test_validate_endpoints_direct(self):
+        validate_endpoints(0.0, 0.0)
+        with pytest.raises(InvalidIntervalError):
+            validate_endpoints(2.0, 1.0)
+
+
+class TestGeometry:
+    def test_length_and_midpoint(self):
+        x = Interval(2.0, 6.0)
+        assert x.length == 4.0
+        assert x.midpoint == 4.0
+
+    def test_overlaps_touching_endpoints(self):
+        assert Interval(0.0, 5.0).overlaps(Interval(5.0, 9.0))
+
+    def test_overlaps_disjoint(self):
+        assert not Interval(0.0, 1.0).overlaps(Interval(2.0, 3.0))
+
+    def test_covers(self):
+        assert Interval(0.0, 10.0).covers(Interval(2.0, 3.0))
+        assert not Interval(2.0, 3.0).covers(Interval(0.0, 10.0))
+
+    def test_intersection_length(self):
+        assert Interval(0.0, 5.0).intersection_length(Interval(3.0, 9.0)) == 2.0
+        assert Interval(0.0, 1.0).intersection_length(Interval(2.0, 3.0)) == 0.0
+
+    def test_shifted(self):
+        x = Interval(1.0, 2.0, weight=3.0, data="t")
+        y = x.shifted(10.0)
+        assert (y.left, y.right, y.weight, y.data) == (11.0, 12.0, 3.0, "t")
+
+    def test_scaled(self):
+        x = Interval(2.0, 4.0)
+        y = x.scaled(2.0, origin=0.0)
+        assert (y.left, y.right) == (4.0, 8.0)
+
+    def test_scaled_negative_factor_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(0.0, 1.0).scaled(-1.0)
+
+    def test_with_weight(self):
+        assert Interval(0.0, 1.0).with_weight(5.0).weight == 5.0
+
+    def test_as_tuple_and_iter(self):
+        x = Interval(1.5, 2.5)
+        assert x.as_tuple() == (1.5, 2.5)
+        assert tuple(x) == (1.5, 2.5)
+        assert x.as_point() == (1.5, 2.5)
+
+    def test_union_span(self):
+        span = union_span([Interval(3.0, 4.0), Interval(1.0, 2.0), Interval(3.5, 9.0)])
+        assert (span.left, span.right) == (1.0, 9.0)
+
+    def test_union_span_empty_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            union_span([])
+
+
+class TestFreeFunctions:
+    def test_overlaps_function_matches_method(self):
+        assert overlaps(0.0, 2.0, 1.0, 3.0)
+        assert not overlaps(0.0, 1.0, 1.5, 3.0)
+
+    def test_contains_point(self):
+        assert contains_point(0.0, 2.0, 1.0)
+        assert contains_point(0.0, 2.0, 0.0)
+        assert not contains_point(0.0, 2.0, 2.1)
+
+    def test_covers_function(self):
+        assert covers(0.0, 10.0, 1.0, 2.0)
+        assert not covers(1.0, 2.0, 0.0, 10.0)
+
+    def test_intersection_length_function(self):
+        assert intersection_length(0.0, 2.0, 1.0, 4.0) == 1.0
+
+
+class TestProperties:
+    @given(finite, finite, finite, finite)
+    def test_overlap_is_symmetric(self, a, b, c, d):
+        x = make_interval(a, b)
+        y = make_interval(c, d)
+        assert x.overlaps(y) == y.overlaps(x)
+
+    @given(finite, finite)
+    def test_interval_overlaps_itself(self, a, b):
+        x = make_interval(a, b)
+        assert x.overlaps(x)
+
+    @given(finite, finite, finite, finite)
+    def test_overlap_iff_positive_or_touching_intersection(self, a, b, c, d):
+        x = make_interval(a, b)
+        y = make_interval(c, d)
+        inter = x.intersection_length(y)
+        if inter > 0:
+            assert x.overlaps(y)
+        if not x.overlaps(y):
+            assert inter == 0.0
+
+    @given(finite, finite, finite)
+    def test_contains_point_consistent_with_point_interval_overlap(self, a, b, p):
+        x = make_interval(a, b)
+        assert x.contains_point(p) == x.overlaps(Interval(p, p))
+
+    @given(st.lists(st.tuples(finite, finite), min_size=1, max_size=20))
+    def test_union_span_covers_every_member(self, pairs):
+        intervals = [make_interval(a, b) for a, b in pairs]
+        span = union_span(intervals)
+        assert all(span.covers(x) for x in intervals)

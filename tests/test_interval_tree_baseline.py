@@ -1,0 +1,90 @@
+"""Tests for the classic (non-augmented) interval tree baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import EmptyResultError, Interval
+from repro.baselines import IntervalTree
+from repro.stats import chi_square_uniformity, chi_square_weighted
+
+
+class TestStructureAndSearch:
+    def test_height_is_logarithmic(self, random_dataset):
+        tree = IntervalTree(random_dataset)
+        assert tree.height <= 2 * math.ceil(math.log2(len(random_dataset))) + 2
+
+    def test_report_matches_oracle(self, random_dataset, make_queries, ground_truth):
+        tree = IntervalTree(random_dataset)
+        for query in make_queries(random_dataset, count=30):
+            assert set(tree.report(query).tolist()) == ground_truth(random_dataset, query)
+
+    def test_report_no_duplicates(self, random_dataset, make_queries):
+        tree = IntervalTree(random_dataset)
+        for query in make_queries(random_dataset, count=15, extent=0.4):
+            ids = tree.report(query)
+            assert len(ids) == len(set(ids.tolist()))
+
+    def test_count_defaults_to_report_length(self, random_dataset, make_queries):
+        tree = IntervalTree(random_dataset)
+        for query in make_queries(random_dataset, count=10):
+            assert tree.count(query) == random_dataset.overlap_count(*query)
+
+    def test_stabbing_query(self, random_dataset):
+        tree = IntervalTree(random_dataset)
+        rng = np.random.default_rng(0)
+        lo, hi = random_dataset.domain()
+        for point in rng.uniform(lo, hi, 15):
+            expected = set(random_dataset.overlap_indices(point, point).tolist())
+            assert set(tree.stab(float(point)).tolist()) == expected
+
+    def test_report_intervals(self, random_dataset):
+        tree = IntervalTree(random_dataset)
+        lo, hi = random_dataset.domain()
+        intervals = tree.report_intervals((lo, (lo + hi) / 3))
+        assert all(isinstance(x, Interval) for x in intervals)
+
+    def test_memory_bytes_positive(self, random_dataset):
+        assert IntervalTree(random_dataset).memory_bytes() > 0
+
+    def test_from_intervals_constructor(self):
+        tree = IntervalTree.from_intervals([Interval(0, 5), Interval(3, 8)])
+        assert tree.count((4, 4)) == 2
+
+
+class TestSearchThenSample:
+    def test_samples_are_members(self, random_dataset, make_queries, ground_truth):
+        tree = IntervalTree(random_dataset)
+        for query in make_queries(random_dataset, count=10):
+            truth = ground_truth(random_dataset, query)
+            if not truth:
+                continue
+            samples = tree.sample(query, 100, random_state=0)
+            assert set(samples.tolist()) <= truth
+
+    def test_uniform_sampling_distribution(self, random_dataset, make_queries, ground_truth):
+        tree = IntervalTree(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.12, seed=5)[0]
+        truth = sorted(ground_truth(random_dataset, query))
+        samples = tree.sample(query, 40 * len(truth), random_state=1)
+        assert not chi_square_uniformity(samples.tolist(), truth).rejects_uniformity(alpha=1e-4)
+
+    def test_weighted_sampling_distribution(self, weighted_dataset, make_queries, ground_truth):
+        tree = IntervalTree(weighted_dataset, weighted=True)
+        assert tree.is_weighted
+        query = make_queries(weighted_dataset, count=1, extent=0.12, seed=6)[0]
+        truth = sorted(ground_truth(weighted_dataset, query))
+        weights = weighted_dataset.weights[truth]
+        samples = tree.sample(query, 60 * len(truth), random_state=2)
+        fit = chi_square_weighted(samples.tolist(), truth, weights.tolist())
+        assert not fit.rejects_uniformity(alpha=1e-4)
+
+    def test_empty_result_handling(self, random_dataset):
+        tree = IntervalTree(random_dataset)
+        _, hi = random_dataset.domain()
+        assert tree.sample((hi + 1.0, hi + 2.0), 10).shape == (0,)
+        with pytest.raises(EmptyResultError):
+            tree.sample((hi + 1.0, hi + 2.0), 10, on_empty="raise")

@@ -1,0 +1,119 @@
+"""Tests for the kd-tree canonical-cover index and the KDS sampling baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IntervalDataset
+from repro.baselines import KDS, KDTreeIndex
+from repro.stats import chi_square_uniformity, chi_square_weighted
+
+
+class TestKDTree:
+    def test_leaf_size_validation(self, random_dataset):
+        with pytest.raises(ValueError):
+            KDTreeIndex(random_dataset, leaf_size=0)
+
+    def test_ordered_ids_is_a_permutation(self, random_dataset):
+        index = KDTreeIndex(random_dataset)
+        assert sorted(index.ordered_ids.tolist()) == list(range(len(random_dataset)))
+
+    def test_count_matches_oracle(self, random_dataset, make_queries):
+        index = KDTreeIndex(random_dataset)
+        for query in make_queries(random_dataset, count=30):
+            assert index.count(query) == random_dataset.overlap_count(*query)
+
+    def test_report_matches_oracle(self, random_dataset, make_queries, ground_truth):
+        index = KDTreeIndex(random_dataset)
+        for query in make_queries(random_dataset, count=20):
+            assert set(index.report(query).tolist()) == ground_truth(random_dataset, query)
+
+    def test_cover_components_are_disjoint(self, random_dataset, make_queries):
+        index = KDTreeIndex(random_dataset)
+        for query in make_queries(random_dataset, count=10, extent=0.2):
+            cover = index.canonical_cover(query)
+            seen: set[int] = set()
+            for node in cover.full_nodes:
+                ids = index.ordered_ids[node.lo : node.hi].tolist()
+                assert not (seen & set(ids))
+                seen.update(ids)
+            partial = set(cover.partial_ids.tolist())
+            assert not (seen & partial)
+
+    def test_small_leaf_size_still_correct(self, random_dataset, make_queries, ground_truth):
+        index = KDTreeIndex(random_dataset, leaf_size=2)
+        for query in make_queries(random_dataset, count=10):
+            assert set(index.report(query).tolist()) == ground_truth(random_dataset, query)
+
+    def test_weight_prefix_only_for_weighted(self, random_dataset, weighted_dataset):
+        assert KDTreeIndex(random_dataset).weight_prefix is None
+        assert KDTreeIndex(weighted_dataset).weight_prefix is not None
+
+    def test_memory_bytes_positive(self, random_dataset):
+        assert KDTreeIndex(random_dataset).memory_bytes() > 0
+
+    def test_empty_query_region(self, random_dataset):
+        index = KDTreeIndex(random_dataset)
+        _, hi = random_dataset.domain()
+        assert index.count((hi + 5.0, hi + 6.0)) == 0
+
+
+class TestKDS:
+    def test_samples_are_members(self, random_dataset, make_queries, ground_truth):
+        index = KDS(random_dataset)
+        for query in make_queries(random_dataset, count=10):
+            truth = ground_truth(random_dataset, query)
+            if not truth:
+                continue
+            samples = index.sample(query, 150, random_state=0)
+            assert set(samples.tolist()) <= truth
+
+    def test_sample_size_respected(self, random_dataset, make_queries):
+        index = KDS(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        assert index.sample(query, 333, random_state=1).shape == (333,)
+
+    def test_uniform_sampling_distribution(self, random_dataset, make_queries, ground_truth):
+        index = KDS(random_dataset)
+        query = make_queries(random_dataset, count=1, extent=0.12, seed=9)[0]
+        truth = sorted(ground_truth(random_dataset, query))
+        samples = index.sample(query, 40 * len(truth), random_state=2)
+        assert not chi_square_uniformity(samples.tolist(), truth).rejects_uniformity(alpha=1e-4)
+
+    def test_weighted_sampling_distribution(self, weighted_dataset, make_queries, ground_truth):
+        index = KDS(weighted_dataset, weighted=True)
+        assert index.is_weighted
+        query = make_queries(weighted_dataset, count=1, extent=0.12, seed=10)[0]
+        truth = sorted(ground_truth(weighted_dataset, query))
+        weights = weighted_dataset.weights[truth]
+        samples = index.sample(query, 60 * len(truth), random_state=3)
+        fit = chi_square_weighted(samples.tolist(), truth, weights.tolist())
+        assert not fit.rejects_uniformity(alpha=1e-4)
+
+    def test_weighted_flag_on_unweighted_dataset(self, random_dataset, make_queries, ground_truth):
+        index = KDS(random_dataset, weighted=True)
+        query = make_queries(random_dataset, count=1)[0]
+        truth = ground_truth(random_dataset, query)
+        samples = index.sample(query, 100, random_state=4)
+        assert set(samples.tolist()) <= truth
+
+    def test_empty_result_behaviour(self, random_dataset):
+        from repro import EmptyResultError
+
+        index = KDS(random_dataset)
+        _, hi = random_dataset.domain()
+        assert index.sample((hi + 1.0, hi + 2.0), 10).shape == (0,)
+        with pytest.raises(EmptyResultError):
+            index.sample((hi + 1.0, hi + 2.0), 10, on_empty="raise")
+
+    def test_sample_zero(self, random_dataset, make_queries):
+        index = KDS(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        assert index.sample(query, 0).shape == (0,)
+
+    def test_zero_weight_points_never_sampled_weighted(self):
+        dataset = IntervalDataset([0.0, 1.0, 2.0], [10.0, 11.0, 12.0], weights=[1.0, 0.0, 3.0])
+        index = KDS(dataset, weighted=True)
+        samples = index.sample((0.0, 20.0), 2000, random_state=5)
+        assert 1 not in set(samples.tolist())

@@ -1,0 +1,83 @@
+"""Tests for query coercion and sample-size validation plus the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interval, InvalidQueryError, ReproError
+from repro.core import errors
+from repro.core.query import coerce_query, validate_sample_size
+
+
+class TestCoerceQuery:
+    def test_accepts_interval(self):
+        assert coerce_query(Interval(1.0, 2.0)) == (1.0, 2.0)
+
+    def test_accepts_tuple_and_list(self):
+        assert coerce_query((1, 2)) == (1.0, 2.0)
+        assert coerce_query([1.5, 2.5]) == (1.5, 2.5)
+
+    def test_point_query(self):
+        assert coerce_query((3.0, 3.0)) == (3.0, 3.0)
+
+    def test_inverted_query_raises(self):
+        with pytest.raises(InvalidQueryError):
+            coerce_query((5.0, 1.0))
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(InvalidQueryError):
+            coerce_query(("a", "b"))
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(InvalidQueryError):
+            coerce_query((1.0, 2.0, 3.0))
+        with pytest.raises(InvalidQueryError):
+            coerce_query(42)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_raises(self, bad):
+        with pytest.raises(InvalidQueryError):
+            coerce_query((0.0, bad))
+
+
+class TestValidateSampleSize:
+    def test_accepts_zero_and_positive(self):
+        assert validate_sample_size(0) == 0
+        assert validate_sample_size(10) == 10
+
+    def test_accepts_integral_float(self):
+        assert validate_sample_size(5.0) == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidQueryError):
+            validate_sample_size(-1)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(InvalidQueryError):
+            validate_sample_size(2.5)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(InvalidQueryError):
+            validate_sample_size("ten")
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.InvalidIntervalError,
+            errors.InvalidQueryError,
+            errors.InvalidWeightError,
+            errors.EmptyDatasetError,
+            errors.EmptyResultError,
+            errors.StructureStateError,
+            errors.UnsupportedOperationError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_are_also_value_errors(self):
+        assert issubclass(errors.InvalidIntervalError, ValueError)
+        assert issubclass(errors.InvalidQueryError, ValueError)
+        assert issubclass(errors.EmptyResultError, LookupError)

@@ -1,0 +1,122 @@
+"""Tests for the cumulative-sum (prefix-sum) weighted sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CumulativeSampler, InvalidWeightError
+from repro.sampling import (
+    cumulative_sample,
+    prefix_sums,
+    range_weight,
+    resolve_rng,
+    sample_from_prefix_range,
+)
+
+
+class TestPrefixSums:
+    def test_basic(self):
+        np.testing.assert_allclose(prefix_sums([1.0, 2.0, 3.0]), [1.0, 3.0, 6.0])
+
+    def test_empty(self):
+        assert prefix_sums([]).shape == (0,)
+
+    def test_negative_raises(self):
+        with pytest.raises(InvalidWeightError):
+            prefix_sums([1.0, -2.0])
+
+    def test_two_dimensional_raises(self):
+        with pytest.raises(InvalidWeightError):
+            prefix_sums(np.ones((2, 2)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+    def test_prefix_is_monotone_and_ends_at_total(self, weights):
+        prefix = prefix_sums(weights)
+        assert np.all(np.diff(prefix) >= -1e-9)
+        assert prefix[-1] == pytest.approx(sum(weights), rel=1e-9, abs=1e-9)
+
+
+class TestRangeWeight:
+    def test_full_and_partial_ranges(self):
+        prefix = prefix_sums([1.0, 2.0, 3.0, 4.0])
+        assert range_weight(prefix, 0, 3) == pytest.approx(10.0)
+        assert range_weight(prefix, 1, 2) == pytest.approx(5.0)
+        assert range_weight(prefix, 2, 2) == pytest.approx(3.0)
+
+    def test_empty_range_is_zero(self):
+        prefix = prefix_sums([1.0, 2.0])
+        assert range_weight(prefix, 1, 0) == 0.0
+
+
+class TestSampleFromPrefixRange:
+    def test_stays_inside_range(self):
+        prefix = prefix_sums([1.0, 2.0, 3.0, 4.0, 5.0])
+        rng = resolve_rng(0)
+        draws = [sample_from_prefix_range(prefix, 1, 3, rng) for _ in range(500)]
+        assert set(draws) <= {1, 2, 3}
+
+    def test_empty_range_raises(self):
+        prefix = prefix_sums([1.0, 2.0])
+        with pytest.raises(InvalidWeightError):
+            sample_from_prefix_range(prefix, 1, 0, resolve_rng(0))
+
+    def test_zero_weight_range_raises(self):
+        prefix = prefix_sums([1.0, 0.0, 0.0, 2.0])
+        with pytest.raises(InvalidWeightError):
+            sample_from_prefix_range(prefix, 1, 2, resolve_rng(0))
+
+    def test_distribution_proportional_to_weights_within_range(self):
+        weights = np.array([100.0, 1.0, 3.0, 6.0, 100.0])
+        prefix = prefix_sums(weights)
+        rng = resolve_rng(5)
+        draws = np.array([sample_from_prefix_range(prefix, 1, 3, rng) for _ in range(20_000)])
+        freq = np.bincount(draws, minlength=5)[1:4] / draws.shape[0]
+        np.testing.assert_allclose(freq, weights[1:4] / weights[1:4].sum(), atol=0.02)
+
+
+class TestCumulativeSampler:
+    def test_requires_positive_total(self):
+        with pytest.raises(InvalidWeightError):
+            CumulativeSampler([0.0, 0.0])
+        with pytest.raises(InvalidWeightError):
+            CumulativeSampler([])
+
+    def test_len_and_total(self):
+        sampler = CumulativeSampler([1.0, 2.0, 3.0])
+        assert len(sampler) == 3
+        assert sampler.total_weight == 6.0
+
+    def test_sample_many_distribution(self):
+        weights = np.array([1.0, 9.0])
+        sampler = CumulativeSampler(weights)
+        draws = sampler.sample_many(40_000, resolve_rng(1))
+        freq = np.bincount(draws, minlength=2) / draws.shape[0]
+        np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.02)
+
+    def test_zero_weight_entries_never_sampled(self):
+        sampler = CumulativeSampler([0.0, 5.0, 0.0])
+        draws = sampler.sample_many(5_000, resolve_rng(2))
+        assert set(np.unique(draws)) == {1}
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            CumulativeSampler([1.0]).sample_many(-5, resolve_rng(0))
+
+    def test_helper_function_deterministic(self):
+        a = cumulative_sample([1.0, 2.0], 20, random_state=3)
+        b = cumulative_sample([1.0, 2.0], 20, random_state=3)
+        np.testing.assert_array_equal(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=30).filter(
+            lambda w: sum(w) > 0
+        )
+    )
+    def test_samples_always_have_positive_weight(self, weights):
+        sampler = CumulativeSampler(weights)
+        draws = sampler.sample_many(100, resolve_rng(7))
+        assert all(weights[i] > 0 for i in draws)

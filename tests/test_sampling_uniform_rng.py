@@ -1,0 +1,110 @@
+"""Tests for the uniform-sampling helpers and the RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    resolve_rng,
+    reservoir_sample,
+    sample_indices_with_replacement,
+    sample_with_replacement,
+    sample_without_replacement,
+    spawn_rngs,
+)
+
+
+class TestResolveRng:
+    def test_none_returns_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(42).integers(0, 1000, 10)
+        b = resolve_rng(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_existing_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert resolve_rng(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        assert isinstance(resolve_rng(np.random.SeedSequence(1)), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_spawn_count_and_independence(self):
+        rngs = spawn_rngs(7, 3)
+        assert len(rngs) == 3
+        draws = [r.integers(0, 10**9) for r in rngs]
+        assert len(set(draws)) == 3
+
+    def test_spawn_deterministic_from_seed(self):
+        a = [r.integers(0, 10**9) for r in spawn_rngs(5, 2)]
+        b = [r.integers(0, 10**9) for r in spawn_rngs(5, 2)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(0), 2)
+        assert len(rngs) == 2
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestUniformSampling:
+    def test_with_replacement_length_and_membership(self):
+        items = ["a", "b", "c"]
+        out = sample_with_replacement(items, 10, random_state=0)
+        assert len(out) == 10
+        assert set(out) <= set(items)
+
+    def test_without_replacement_distinct(self):
+        items = list(range(20))
+        out = sample_without_replacement(items, 10, random_state=1)
+        assert len(out) == 10
+        assert len(set(out)) == 10
+
+    def test_without_replacement_caps_at_population(self):
+        out = sample_without_replacement([1, 2, 3], 10, random_state=0)
+        assert sorted(out) == [1, 2, 3]
+
+    def test_without_replacement_zero(self):
+        assert sample_without_replacement([1, 2], 0) == []
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            sample_with_replacement([1], -1)
+        with pytest.raises(ValueError):
+            sample_without_replacement([1], -1)
+        with pytest.raises(ValueError):
+            sample_indices_with_replacement(5, -1, resolve_rng(0))
+
+    def test_indices_with_replacement_empty_population_raises(self):
+        with pytest.raises(ValueError):
+            sample_indices_with_replacement(0, 5, resolve_rng(0))
+
+    def test_reservoir_sample_from_generator(self):
+        out = reservoir_sample((i * i for i in range(1000)), 10, random_state=2)
+        assert len(out) == 10
+        assert all(isinstance(v, int) for v in out)
+
+    def test_reservoir_sample_small_stream_returns_everything(self):
+        assert sorted(reservoir_sample(iter([1, 2, 3]), 10)) == [1, 2, 3]
+
+    def test_reservoir_sample_negative_raises(self):
+        with pytest.raises(ValueError):
+            reservoir_sample([1, 2], -1)
+
+    def test_reservoir_sample_is_reasonably_uniform(self):
+        hits = np.zeros(100)
+        for seed in range(300):
+            for value in reservoir_sample(range(100), 10, random_state=seed):
+                hits[value] += 1
+        # Every position should be selected at least once over 300 trials of 10 draws.
+        assert (hits > 0).all()

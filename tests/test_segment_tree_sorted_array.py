@@ -1,0 +1,114 @@
+"""Tests for the segment tree and the 1-D sorted-array IRS substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IntervalDataset
+from repro.baselines import EndpointIRS, SegmentTree, SortedArrayIRS
+from repro.core.errors import EmptyDatasetError
+
+
+class TestSegmentTree:
+    def test_stab_matches_oracle(self, random_dataset):
+        tree = SegmentTree(random_dataset)
+        rng = np.random.default_rng(1)
+        lo, hi = random_dataset.domain()
+        for point in rng.uniform(lo, hi, 25):
+            expected = set(random_dataset.overlap_indices(point, point).tolist())
+            assert set(tree.stab(float(point)).tolist()) == expected
+
+    def test_stab_at_exact_endpoints(self):
+        dataset = IntervalDataset([0.0, 5.0], [5.0, 10.0])
+        tree = SegmentTree(dataset)
+        assert set(tree.stab(5.0).tolist()) == {0, 1}
+        assert set(tree.stab(0.0).tolist()) == {0}
+        assert set(tree.stab(10.0).tolist()) == {1}
+
+    def test_stab_outside_domain_is_empty(self, random_dataset):
+        tree = SegmentTree(random_dataset)
+        lo, hi = random_dataset.domain()
+        assert tree.stab(lo - 100.0).shape == (0,)
+        assert tree.stab(hi + 100.0).shape == (0,)
+
+    def test_report_matches_oracle(self, random_dataset, make_queries, ground_truth):
+        tree = SegmentTree(random_dataset)
+        for query in make_queries(random_dataset, count=10):
+            assert set(tree.report(query).tolist()) == ground_truth(random_dataset, query)
+
+    def test_memory_bytes_positive(self, random_dataset):
+        assert SegmentTree(random_dataset).memory_bytes() > 0
+
+    def test_point_interval_dataset(self, make_random_dataset):
+        dataset = make_random_dataset(n=100, seed=2, kind="points")
+        tree = SegmentTree(dataset)
+        point = float(dataset.lefts[0])
+        assert 0 in set(tree.stab(point).tolist())
+
+
+class TestSortedArrayIRS:
+    def test_count_and_report(self):
+        irs = SortedArrayIRS([5.0, 1.0, 3.0, 9.0])
+        assert irs.count((2.0, 6.0)) == 2
+        assert set(irs.report((2.0, 6.0)).tolist()) == {0, 2}
+
+    def test_empty_population_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            SortedArrayIRS([])
+
+    def test_sample_membership_and_size(self):
+        points = np.linspace(0, 100, 200)
+        irs = SortedArrayIRS(points)
+        samples = irs.sample((10.0, 20.0), 100, random_state=0)
+        assert samples.shape == (100,)
+        assert all(10.0 <= points[i] <= 20.0 for i in samples)
+
+    def test_sample_empty_range(self):
+        irs = SortedArrayIRS([1.0, 2.0])
+        assert irs.sample((5.0, 6.0), 10).shape == (0,)
+        from repro import EmptyResultError
+
+        with pytest.raises(EmptyResultError):
+            irs.sample((5.0, 6.0), 10, on_empty="raise")
+
+    def test_len(self):
+        assert len(SortedArrayIRS([1.0, 2.0, 3.0])) == 3
+
+    def test_sampling_is_roughly_uniform(self):
+        points = np.arange(50, dtype=float)
+        irs = SortedArrayIRS(points)
+        samples = irs.sample((10.0, 19.0), 20_000, random_state=1)
+        counts = np.bincount(samples, minlength=50)[10:20]
+        freq = counts / counts.sum()
+        np.testing.assert_allclose(freq, np.full(10, 0.1), atol=0.02)
+
+
+class TestEndpointIRSIsIncorrect:
+    """Executable version of the paper's Section I argument."""
+
+    def test_misses_straddling_intervals(self, make_random_dataset, make_queries):
+        dataset = make_random_dataset(n=500, seed=3, kind="long")
+        naive = EndpointIRS(dataset)
+        missed_any = False
+        for query in make_queries(dataset, count=10):
+            missed = naive.missed_intervals(query)
+            truth = dataset.overlap_count(*query)
+            reported = naive.report(query).shape[0]
+            assert reported + missed.shape[0] == truth
+            if missed.shape[0] > 0:
+                missed_any = True
+        assert missed_any, "the naive reduction should miss straddling intervals"
+
+    def test_never_reports_false_positives(self, random_dataset, make_queries, ground_truth):
+        naive = EndpointIRS(random_dataset)
+        for query in make_queries(random_dataset, count=10):
+            assert set(naive.report(query).tolist()) <= ground_truth(random_dataset, query)
+
+    def test_samples_come_from_reported_subset(self, random_dataset, make_queries):
+        naive = EndpointIRS(random_dataset)
+        query = make_queries(random_dataset, count=1)[0]
+        reported = set(naive.report(query).tolist())
+        if reported:
+            samples = naive.sample(query, 100, random_state=0)
+            assert set(samples.tolist()) <= reported

@@ -1,0 +1,147 @@
+"""Tests for the statistical validation utilities and the sample-based estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    Estimate,
+    chi_square_goodness_of_fit,
+    chi_square_uniformity,
+    chi_square_weighted,
+    empirical_frequencies,
+    estimate_mean,
+    estimate_proportion,
+    estimate_result_statistic,
+    estimate_sum,
+    total_variation_distance,
+)
+from repro import Interval
+
+
+class TestEmpiricalFrequencies:
+    def test_basic_counting(self):
+        assert empirical_frequencies([1, 2, 2, 3, 3, 3]) == {1: 1, 2: 2, 3: 3}
+
+    def test_empty(self):
+        assert empirical_frequencies([]) == {}
+
+
+class TestChiSquare:
+    def test_uniform_samples_not_rejected(self):
+        rng = np.random.default_rng(0)
+        population = list(range(50))
+        samples = rng.integers(0, 50, 5000).tolist()
+        fit = chi_square_uniformity(samples, population)
+        assert fit.p_value > 1e-4
+        assert not fit.rejects_uniformity()
+
+    def test_biased_samples_are_rejected(self):
+        population = list(range(10))
+        samples = [0] * 900 + [1] * 100  # heavily biased toward id 0
+        fit = chi_square_uniformity(samples, population)
+        assert fit.rejects_uniformity(alpha=0.001)
+
+    def test_weighted_fit_accepts_weight_proportional_samples(self):
+        rng = np.random.default_rng(1)
+        population = [10, 20, 30]
+        weights = [1.0, 2.0, 7.0]
+        draws = rng.choice(population, size=8000, p=np.array(weights) / 10.0).tolist()
+        fit = chi_square_weighted(draws, population, weights)
+        assert not fit.rejects_uniformity(alpha=1e-4)
+
+    def test_weighted_fit_rejects_uniform_samples_under_skewed_weights(self):
+        rng = np.random.default_rng(2)
+        population = [0, 1]
+        weights = [1.0, 99.0]
+        draws = rng.integers(0, 2, 5000).tolist()  # uniform, but weights are skewed
+        fit = chi_square_weighted(draws, population, weights)
+        assert fit.rejects_uniformity(alpha=0.001)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([], [1, 2])
+
+    def test_samples_outside_support_raise(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([5], [1, 2])
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            chi_square_goodness_of_fit([0], {0: 0.3, 1: 0.3})
+
+    def test_mismatched_weights_length(self):
+        with pytest.raises(ValueError):
+            chi_square_weighted([0], [0, 1], [1.0])
+
+    def test_zero_total_weight_raises(self):
+        with pytest.raises(ValueError):
+            chi_square_weighted([0], [0, 1], [0.0, 0.0])
+
+
+class TestTotalVariation:
+    def test_zero_for_exact_match(self):
+        samples = [0, 1] * 500
+        assert total_variation_distance(samples, {0: 0.5, 1: 0.5}) < 0.05
+
+    def test_one_half_for_disjoint_support(self):
+        samples = [0] * 100
+        assert total_variation_distance(samples, {1: 1.0}) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            total_variation_distance([], {0: 1.0})
+
+
+class TestEstimators:
+    def test_estimate_mean_recovers_population_mean(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(10.0, 2.0, 2000)
+        est = estimate_mean(values)
+        assert est.lower <= 10.0 <= est.upper
+        assert est.sample_size == 2000
+
+    def test_estimate_mean_single_value(self):
+        est = estimate_mean([4.2])
+        assert est.value == 4.2
+        assert est.stderr == 0.0
+
+    def test_estimate_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate_mean([])
+
+    def test_estimate_proportion_bounds(self):
+        est = estimate_proportion([True] * 70 + [False] * 30)
+        assert est.value == pytest.approx(0.7)
+        assert 0.0 <= est.lower <= est.upper <= 1.0
+
+    def test_estimate_sum_scales_by_population(self):
+        est = estimate_sum([2.0, 2.0, 2.0], population_size=100)
+        assert est.value == pytest.approx(200.0)
+
+    def test_estimate_sum_negative_population_raises(self):
+        with pytest.raises(ValueError):
+            estimate_sum([1.0], population_size=-1)
+
+    def test_invalid_confidence_raises(self):
+        with pytest.raises(ValueError):
+            estimate_mean([1.0, 2.0], confidence=1.5)
+
+    def test_estimate_result_statistic_mean_and_total(self):
+        samples = [Interval(0, 2), Interval(0, 4), Interval(0, 6)]
+        mean_est = estimate_result_statistic(samples, lambda x: x.length)
+        assert mean_est.value == pytest.approx(4.0)
+        total_est = estimate_result_statistic(samples, lambda x: x.length, population_size=30)
+        assert total_est.value == pytest.approx(120.0)
+
+    def test_estimate_str_and_type(self):
+        est = estimate_mean([1.0, 2.0, 3.0])
+        assert isinstance(est, Estimate)
+        assert "CI" in str(est)
+
+    def test_wider_confidence_gives_wider_interval(self):
+        values = list(np.random.default_rng(4).normal(0, 1, 500))
+        narrow = estimate_mean(values, confidence=0.8)
+        wide = estimate_mean(values, confidence=0.99)
+        assert (wide.upper - wide.lower) > (narrow.upper - narrow.lower)

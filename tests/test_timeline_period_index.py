@@ -1,0 +1,100 @@
+"""Tests for the timeline index and the period index (related-work substrates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IntervalDataset
+from repro.baselines import PeriodIndex, TimelineIndex
+
+
+class TestTimelineIndex:
+    def test_alive_at_matches_oracle(self, random_dataset):
+        index = TimelineIndex(random_dataset)
+        rng = np.random.default_rng(0)
+        lo, hi = random_dataset.domain()
+        for point in rng.uniform(lo, hi, 25):
+            expected = set(random_dataset.overlap_indices(point, point).tolist())
+            assert set(index.alive_at(float(point)).tolist()) == expected
+
+    def test_alive_at_exact_endpoints(self):
+        dataset = IntervalDataset([0.0, 5.0], [5.0, 10.0])
+        index = TimelineIndex(dataset, checkpoint_every=1)
+        assert set(index.alive_at(5.0).tolist()) == {0, 1}
+        assert set(index.alive_at(0.0).tolist()) == {0}
+        assert set(index.alive_at(10.0).tolist()) == {1}
+        assert index.alive_at(11.0).shape == (0,)
+
+    def test_report_matches_oracle(self, random_dataset, make_queries, ground_truth):
+        index = TimelineIndex(random_dataset)
+        for query in make_queries(random_dataset, count=20):
+            assert set(index.report(query).tolist()) == ground_truth(random_dataset, query)
+
+    def test_report_on_long_and_point_datasets(self, make_random_dataset, make_queries, ground_truth):
+        for kind in ("long", "points"):
+            dataset = make_random_dataset(n=300, seed=61, kind=kind)
+            index = TimelineIndex(dataset)
+            for query in make_queries(dataset, count=10):
+                assert set(index.report(query).tolist()) == ground_truth(dataset, query)
+
+    def test_checkpoint_every_validation(self, random_dataset):
+        with pytest.raises(ValueError):
+            TimelineIndex(random_dataset, checkpoint_every=0)
+
+    def test_checkpoint_count_and_memory(self, random_dataset):
+        dense = TimelineIndex(random_dataset, checkpoint_every=10)
+        sparse = TimelineIndex(random_dataset, checkpoint_every=1000)
+        assert dense.checkpoint_count > sparse.checkpoint_count
+        assert dense.memory_bytes() > 0
+        assert dense.checkpoint_every == 10
+
+    def test_count_defaults_to_report(self, random_dataset, make_queries):
+        index = TimelineIndex(random_dataset)
+        for query in make_queries(random_dataset, count=5):
+            assert index.count(query) == random_dataset.overlap_count(*query)
+
+
+class TestPeriodIndex:
+    def test_report_matches_oracle(self, random_dataset, make_queries, ground_truth):
+        index = PeriodIndex(random_dataset)
+        for query in make_queries(random_dataset, count=20):
+            assert set(index.report(query).tolist()) == ground_truth(random_dataset, query)
+
+    def test_report_various_grid_shapes(self, random_dataset, make_queries, ground_truth):
+        for bucket_count, levels in ((1, 1), (16, 2), (200, 6)):
+            index = PeriodIndex(random_dataset, bucket_count=bucket_count, levels=levels)
+            assert index.bucket_count == bucket_count
+            assert index.levels == levels
+            for query in make_queries(random_dataset, count=5, seed=bucket_count):
+                assert set(index.report(query).tolist()) == ground_truth(random_dataset, query)
+
+    def test_stab(self, random_dataset):
+        index = PeriodIndex(random_dataset)
+        rng = np.random.default_rng(1)
+        lo, hi = random_dataset.domain()
+        for point in rng.uniform(lo, hi, 10):
+            expected = set(random_dataset.overlap_indices(point, point).tolist())
+            assert set(index.stab(float(point)).tolist()) == expected
+
+    def test_query_outside_domain(self, random_dataset):
+        index = PeriodIndex(random_dataset)
+        _, hi = random_dataset.domain()
+        assert index.report((hi + 10.0, hi + 20.0)).shape == (0,) or set(
+            index.report((hi + 10.0, hi + 20.0)).tolist()
+        ) == set()
+
+    def test_parameter_validation(self, random_dataset):
+        with pytest.raises(ValueError):
+            PeriodIndex(random_dataset, bucket_count=0)
+        with pytest.raises(ValueError):
+            PeriodIndex(random_dataset, levels=0)
+
+    def test_memory_bytes_positive(self, random_dataset):
+        assert PeriodIndex(random_dataset).memory_bytes() > 0
+
+    def test_point_interval_dataset(self, make_random_dataset, make_queries, ground_truth):
+        dataset = make_random_dataset(n=200, seed=62, kind="points")
+        index = PeriodIndex(dataset)
+        for query in make_queries(dataset, count=10):
+            assert set(index.report(query).tolist()) == ground_truth(dataset, query)
