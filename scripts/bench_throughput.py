@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Measure scalar vs batch AIT query throughput and emit BENCH_throughput.json.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_throughput.py [--out BENCH_throughput.json]
+
+For each dataset size (10k and 100k intervals by default) the script builds
+an AIT over the synthetic btc-analogue dataset, generates 1,000 queries at 8%
+extent, and times each operation both as a scalar per-query loop and via the
+flat batch engine (``count_many`` / ``report_many`` / ``sample_many``).
+Sampling is measured at multiple per-query sample sizes because the speedup
+is s-dependent: at small s the batch engine amortises per-query dispatch
+(order-of-magnitude wins); at large s both paths are dominated by per-draw
+array work and the gap narrows.  The JSON output is machine-readable so
+successive PRs can compare their numbers against the committed baseline:
+
+    {"config": {...}, "results": [{"n": ..., "operation": "count",
+      "sample_size": ..., "scalar_qps": ..., "batch_qps": ..., "speedup": ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import AIT, __version__  # noqa: E402
+from repro.datasets import generate_paper_dataset, generate_queries  # noqa: E402
+from repro.experiments.exp_throughput import measure_pair  # noqa: E402
+from repro.sampling.rng import resolve_rng  # noqa: E402
+
+
+def bench_one(n: int, query_count: int, sample_sizes: list[int], repeats: int) -> list[dict]:
+    dataset = generate_paper_dataset("btc", n=n, random_state=1)
+    workload = generate_queries(dataset, count=query_count, extent_fraction=0.08, random_state=2)
+    queries = list(workload)
+    query_array = np.asarray(queries, dtype=np.float64)
+    tree = AIT(dataset)
+    tree.flat()  # snapshot once, outside the timed region
+
+    operations = [
+        (
+            "count",
+            None,
+            lambda: [tree.count(q) for q in queries],
+            lambda: tree.count_many(query_array),
+        ),
+        (
+            "report",
+            None,
+            lambda: [tree.report(q) for q in queries],
+            lambda: tree.report_many(query_array),
+        ),
+    ]
+    def scalar_sample(s):
+        # Generator created once per invocation, not once per query, so its
+        # construction cost is not charged to the scalar side.
+        rng = resolve_rng(0)
+        return [tree.sample(q, s, random_state=rng) for q in queries]
+
+    for s in sample_sizes:
+        operations.append(
+            (
+                "sample",
+                s,
+                lambda s=s: scalar_sample(s),
+                lambda s=s: tree.sample_many(query_array, s, random_state=0),
+            )
+        )
+    rows = []
+    for operation, s, scalar_fn, batch_fn in operations:
+        scalar_qps, batch_qps, speedup = measure_pair(scalar_fn, batch_fn, len(queries), repeats)
+        rows.append(
+            {
+                "n": n,
+                "operation": operation,
+                "sample_size": s,
+                "scalar_qps": round(scalar_qps, 1),
+                "batch_qps": round(batch_qps, 1),
+                "speedup": round(speedup, 2),
+            }
+        )
+        label = operation if s is None else f"{operation} s={s}"
+        print(
+            f"n={n:>7} {label:<14} scalar {scalar_qps:>12.0f} q/s   "
+            f"batch {batch_qps:>12.0f} q/s   speedup {speedup:5.1f}x"
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_throughput.json",
+        help="output JSON path (default: repo-root BENCH_throughput.json)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[10_000, 100_000], help="dataset sizes"
+    )
+    parser.add_argument("--queries", type=int, default=1_000, help="queries per measurement")
+    parser.add_argument(
+        "--sample-sizes",
+        type=int,
+        nargs="+",
+        default=[100, 1_000],
+        help="samples per query (one sampling row per value)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing repetitions")
+    args = parser.parse_args(argv)
+
+    results = []
+    for n in args.sizes:
+        results.extend(bench_one(n, args.queries, args.sample_sizes, args.repeats))
+
+    payload = {
+        "config": {
+            "dataset": "btc (synthetic analogue)",
+            "sizes": args.sizes,
+            "query_count": args.queries,
+            "extent_fraction": 0.08,
+            "sample_sizes": args.sample_sizes,
+            "repeats": args.repeats,
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    largest = max(args.sizes)
+    for row in results:
+        if row["n"] != largest or row["operation"] == "report":
+            continue
+        label = row["operation"] if row["sample_size"] is None else (
+            f"{row['operation']}(s={row['sample_size']})"
+        )
+        print(f"n={largest} {label}: {row['speedup']:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from .core import (
     AITNode,
     EmptyDatasetError,
     EmptyResultError,
+    FlatAIT,
     Interval,
     IntervalDataset,
     IntervalIndex,
@@ -48,6 +49,7 @@ __all__ = [
     "AITNode",
     "AliasTable",
     "CumulativeSampler",
+    "FlatAIT",
     "Interval",
     "IntervalDataset",
     "IntervalIndex",

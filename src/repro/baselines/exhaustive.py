@@ -49,6 +49,28 @@ class ExhaustiveScan(SamplingIndex):
         query_left, query_right = self._coerce(query)
         return self._dataset.overlap_count(query_left, query_right)
 
+    def count_many(self, queries) -> np.ndarray:
+        """Vectorised batch counting: one broadcast overlap test per chunk.
+
+        Chunked so the boolean (queries x intervals) matrix stays within a
+        few tens of megabytes regardless of batch size.  Primarily the
+        ground-truth oracle for the batch-equivalence tests.
+        """
+        from ..core.query import coerce_query_batch
+
+        ql, qr = coerce_query_batch(queries)
+        lefts = self._dataset.lefts
+        rights = self._dataset.rights
+        counts = np.empty(ql.shape[0], dtype=np.int64)
+        chunk = max(1, 32_000_000 // max(1, lefts.shape[0]))
+        for start in range(0, ql.shape[0], chunk):
+            stop = min(start + chunk, ql.shape[0])
+            overlap = (lefts[None, :] <= qr[start:stop, None]) & (
+                ql[start:stop, None] <= rights[None, :]
+            )
+            counts[start:stop] = overlap.sum(axis=1)
+        return counts
+
     def total_weight(self, query: QueryLike) -> float:
         """Total weight of ``q ∩ X`` by linear scan."""
         return float(self._dataset.weights[self.report(query)].sum())

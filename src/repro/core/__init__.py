@@ -5,6 +5,7 @@ from .ait_v import AITV
 from .awit import AWIT
 from .base import IntervalIndex, SamplingIndex
 from .dataset import IntervalDataset
+from .flat import FlatAIT
 from .errors import (
     EmptyDatasetError,
     EmptyResultError,
@@ -17,7 +18,7 @@ from .errors import (
 )
 from .interval import Interval
 from .node import AITNode
-from .query import coerce_query, validate_sample_size
+from .query import coerce_query, coerce_query_batch, validate_sample_size
 from .records import ListKind, NodeRecord
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "AITV",
     "AWIT",
     "AITNode",
+    "FlatAIT",
     "Interval",
     "IntervalDataset",
     "IntervalIndex",
@@ -32,6 +34,7 @@ __all__ = [
     "ListKind",
     "NodeRecord",
     "coerce_query",
+    "coerce_query_batch",
     "validate_sample_size",
     "ReproError",
     "InvalidIntervalError",

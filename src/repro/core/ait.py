@@ -31,6 +31,7 @@ from ..sampling.rng import RandomState, resolve_rng
 from .base import OnEmpty, SamplingIndex
 from .dataset import IntervalDataset
 from .errors import StructureStateError
+from .flat import FlatAIT
 from .interval import Interval
 from .node import AITNode
 from .query import QueryLike
@@ -87,6 +88,9 @@ class AIT(SamplingIndex):
         self._root: Optional[AITNode] = None
         self._height = 0
         self._rebuild_count = 0
+        self._structure_version = 0
+        self._flat: Optional["FlatAIT"] = None
+        self._flat_version = -1
         self._rebuild()
 
     # ------------------------------------------------------------------ #
@@ -94,9 +98,14 @@ class AIT(SamplingIndex):
     # ------------------------------------------------------------------ #
     def _rebuild(self) -> None:
         """(Re)build the tree from the currently active intervals."""
-        active = np.array(
-            [i for i in range(self._lefts.shape[0]) if i not in self._deleted], dtype=np.int64
-        )
+        n = int(self._lefts.shape[0])
+        active_mask = np.ones(n, dtype=bool)
+        if self._deleted:
+            active_mask[np.fromiter(self._deleted, dtype=np.int64, count=len(self._deleted))] = (
+                False
+            )
+        active = np.flatnonzero(active_mask).astype(np.int64, copy=False)
+        self._structure_version += 1
         if active.shape[0] == 0:
             self._root = None
             self._height = 0
@@ -334,6 +343,89 @@ class AIT(SamplingIndex):
         return [self.interval(int(i)) for i in self.report(query)]
 
     # ------------------------------------------------------------------ #
+    # flat engine + batch queries
+    # ------------------------------------------------------------------ #
+    def flat(self) -> FlatAIT:
+        """The flat (structure-of-arrays) engine for the current tree.
+
+        The snapshot is cached and rebuilt lazily whenever the tree structure
+        changes (rebuilds, immediate inserts, pool flushes, deletions).
+        Pooled-but-unflushed inserts do not invalidate it — the batch query
+        wrappers scan the pool separately, like the scalar path does.
+        """
+        if self._flat is None or self._flat_version != self._structure_version:
+            self._flat = FlatAIT.from_tree(self)
+            self._flat_version = self._structure_version
+        return self._flat
+
+    def _pool_match_mask(self, ql: np.ndarray, qr: np.ndarray) -> Optional[np.ndarray]:
+        """Boolean (queries x pooled ids) overlap matrix, or None when no pool."""
+        if not self._pool:
+            return None
+        ids = np.asarray(self._pool, dtype=np.int64)
+        return (self._lefts[ids][None, :] <= qr[:, None]) & (
+            ql[:, None] <= self._rights[ids][None, :]
+        )
+
+    def count_many(self, queries) -> np.ndarray:
+        """Vectorised :meth:`count` for a batch of queries.
+
+        Accepts an ``(n, 2)`` array or any sequence of query-likes; returns
+        an ``int64`` array of ``|q ∩ X|`` per query.  Results are exactly
+        equal to calling :meth:`count` per query, including pooled inserts.
+        """
+        ql, qr = FlatAIT.coerce_queries(queries)
+        counts = self.flat()._count_many(ql, qr)
+        pool_mask = self._pool_match_mask(ql, qr)
+        if pool_mask is not None:
+            counts = counts + pool_mask.sum(axis=1)
+        return counts
+
+    def report_many(self, queries) -> list[np.ndarray]:
+        """Vectorised :meth:`report` for a batch of queries.
+
+        Returns one id array per query, in the same order :meth:`report`
+        produces (records in traversal order, then pooled matches).
+        """
+        ql, qr = FlatAIT.coerce_queries(queries)
+        reported = self.flat()._report_many(ql, qr)
+        pool_mask = self._pool_match_mask(ql, qr)
+        if pool_mask is not None:
+            ids = np.asarray(self._pool, dtype=np.int64)
+            reported = [
+                np.concatenate((chunk, ids[pool_mask[i]])) if pool_mask[i].any() else chunk
+                for i, chunk in enumerate(reported)
+            ]
+        return reported
+
+    def sample_many(
+        self,
+        queries,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> list[np.ndarray]:
+        """Vectorised :meth:`sample` for a batch of queries.
+
+        Each query draws ``sample_size`` ids independently with the same
+        per-draw distribution as :meth:`sample` (``1/|q ∩ X|``, or ``w(x)/W``
+        for weighted trees).  While the batch-insertion pool is non-empty the
+        call falls back to the scalar path per query (the pool is transient
+        by construction); once flushed, the whole batch runs vectorised on
+        the flat engine.
+        """
+        if on_empty not in ("empty", "raise"):
+            raise ValueError(f"on_empty must be 'empty' or 'raise', got {on_empty!r}")
+        ql, qr = FlatAIT.coerce_queries(queries)
+        if self._pool:
+            rng = resolve_rng(random_state)
+            return [
+                self.sample((left, right), sample_size, random_state=rng, on_empty=on_empty)
+                for left, right in zip(ql.tolist(), qr.tolist())
+            ]
+        return self.flat()._sample_many(ql, qr, sample_size, random_state, on_empty)
+
+    # ------------------------------------------------------------------ #
     # independent range sampling (second phase of Algorithm 1)
     # ------------------------------------------------------------------ #
     def sample(
@@ -372,6 +464,11 @@ class AIT(SamplingIndex):
             return empty
         if sample_size == 0:
             return np.empty(0, dtype=np.int64)
+
+        if len(records) == 1 and not pool_ids.shape[0]:
+            # Single-record fast path: every draw lands in the one record, so
+            # the alias table over record weights is pure overhead.
+            return self._draw_within_record(records[0], sample_size, rng)
 
         alias = AliasTable(weights)
         choices = alias.sample_many(sample_size, rng)

@@ -201,6 +201,63 @@ class AITV(SamplingIndex):
         """Exact ``|q ∩ X|`` (scans candidate buckets; see :meth:`report`)."""
         return int(self.report(query).shape[0])
 
+    def _batch_candidate_scan(
+        self, ql: np.ndarray, qr: np.ndarray
+    ) -> Optional[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Shared candidate phase of the batch queries.
+
+        One level-synchronous traversal of the virtual tree's flat engine
+        yields candidate buckets per query; a single vectorised overlap test
+        over every (query, candidate member) pair then marks the true hits.
+        Returns ``(members, query_of_member, overlap_mask)`` — or None when
+        no bucket matched anything.
+        """
+        nq = int(ql.shape[0])
+        bucket_lists = self._virtual_tree.flat()._report_many(ql, qr)
+        bucket_counts = np.asarray([b.shape[0] for b in bucket_lists], dtype=np.int64)
+        if nq == 0 or int(bucket_counts.sum()) == 0:
+            return None
+        all_buckets = np.concatenate(bucket_lists)
+        query_of_bucket = np.repeat(np.arange(nq, dtype=np.int64), bucket_counts)
+        members = self._bucket_members[all_buckets].reshape(-1)
+        query_of_member = np.repeat(query_of_bucket, self._bucket_size)
+        valid = members >= 0
+        safe = np.maximum(members, 0)
+        overlap = valid & (
+            (self._dataset.lefts[safe] <= qr[query_of_member])
+            & (ql[query_of_member] <= self._dataset.rights[safe])
+        )
+        return members, query_of_member, overlap
+
+    def report_many(self, queries) -> list[np.ndarray]:
+        """Vectorised :meth:`report` for a batch of queries."""
+        from .query import coerce_query_batch
+
+        ql, qr = coerce_query_batch(queries)
+        nq = int(ql.shape[0])
+        scan = self._batch_candidate_scan(ql, qr)
+        if scan is None:
+            return [np.empty(0, dtype=np.int64) for _ in range(nq)]
+        members, query_of_member, overlap = scan
+        hits = members[overlap]
+        per_query = np.bincount(query_of_member[overlap], minlength=nq)
+        return [chunk for chunk in np.split(hits, np.cumsum(per_query)[:-1])]
+
+    def count_many(self, queries) -> np.ndarray:
+        """Vectorised :meth:`count` for a batch of queries.
+
+        Reuses the candidate scan but skips materialising the hit ids — a
+        bincount over the overlap mask is the whole answer.
+        """
+        from .query import coerce_query_batch
+
+        ql, qr = coerce_query_batch(queries)
+        scan = self._batch_candidate_scan(ql, qr)
+        if scan is None:
+            return np.zeros(ql.shape[0], dtype=np.int64)
+        _, query_of_member, overlap = scan
+        return np.bincount(query_of_member[overlap], minlength=ql.shape[0]).astype(np.int64)
+
     def count_virtual(self, query: QueryLike) -> int:
         """Number of *virtual* intervals overlapping the query (O(log^2 n))."""
         return self._virtual_tree.count(query)

@@ -56,6 +56,15 @@ class AWIT(AIT):
         records = self.collect_records(query)
         return float(sum(rec.weight for rec in records))
 
+    def total_weight_many(self, queries) -> np.ndarray:
+        """Vectorised :meth:`total_weight` for a batch of queries.
+
+        Runs on the flat engine (:meth:`~repro.core.ait.AIT.flat`): one
+        level-synchronous traversal computes every query's record set and the
+        weighted totals come from the precomputed prefix pools.
+        """
+        return self.flat().total_weight_many(queries)
+
     def weights_of(self, interval_ids: np.ndarray) -> np.ndarray:
         """Weights of the given interval ids (convenience accessor for callers)."""
         ids = np.asarray(interval_ids, dtype=np.int64)

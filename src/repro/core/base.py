@@ -62,6 +62,23 @@ class IntervalIndex(abc.ABC):
         return [self._dataset[int(i)] for i in self.report(query)]
 
     # ------------------------------------------------------------------ #
+    # batch queries
+    # ------------------------------------------------------------------ #
+    def count_many(self, queries) -> np.ndarray:
+        """``|q ∩ X|`` for a batch of queries.
+
+        The default implementation loops over :meth:`count`; structures with
+        a vectorised engine (the AIT family) override it.  Having the batch
+        entry point on every index keeps throughput comparisons fair — all
+        competitors answer the same batch API, with or without vectorisation.
+        """
+        return np.asarray([self.count(q) for q in _iter_queries(queries)], dtype=np.int64)
+
+    def report_many(self, queries) -> list["np.ndarray"]:
+        """Overlapping ids for a batch of queries (default: loop over :meth:`report`)."""
+        return [self.report(q) for q in _iter_queries(queries)]
+
+    # ------------------------------------------------------------------ #
     # shared helpers for subclasses
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -76,6 +93,18 @@ class IntervalIndex(abc.ABC):
         if on_empty != "empty":
             raise ValueError(f"on_empty must be 'empty' or 'raise', got {on_empty!r}")
         return np.empty(0, dtype=np.int64)
+
+
+def _iter_queries(queries) -> list[tuple[float, float]]:
+    """Normalise a query batch (sequence or ``(n, 2)`` array) to a list of pairs.
+
+    Funnels through :func:`~repro.core.query.coerce_query_batch` so every
+    index's batch API rejects malformed input identically.
+    """
+    from .query import coerce_query_batch
+
+    lefts, rights = coerce_query_batch(queries)
+    return list(zip(lefts.tolist(), rights.tolist()))
 
 
 class SamplingIndex(IntervalIndex):
@@ -108,6 +137,26 @@ class SamplingIndex(IntervalIndex):
         """Like :meth:`sample` but returns :class:`Interval` objects."""
         ids = self.sample(query, sample_size, random_state=random_state, on_empty=on_empty)
         return [self._dataset[int(i)] for i in ids]
+
+    def sample_many(
+        self,
+        queries,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: OnEmpty = "empty",
+    ) -> list[np.ndarray]:
+        """Draw ``sample_size`` ids from each query of a batch.
+
+        Default implementation loops over :meth:`sample` with one shared RNG
+        stream; vectorised structures override it.
+        """
+        from ..sampling.rng import resolve_rng
+
+        rng = resolve_rng(random_state)
+        return [
+            self.sample(q, sample_size, random_state=rng, on_empty=on_empty)
+            for q in _iter_queries(queries)
+        ]
 
     def sample_distinct(
         self,

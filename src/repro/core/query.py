@@ -11,10 +11,12 @@ from __future__ import annotations
 import math
 from typing import Sequence, Union
 
+import numpy as np
+
 from .errors import InvalidQueryError
 from .interval import Interval
 
-__all__ = ["QueryLike", "coerce_query", "validate_sample_size"]
+__all__ = ["QueryLike", "coerce_query", "coerce_query_batch", "validate_sample_size"]
 
 #: Anything accepted as a query interval by the public API.
 QueryLike = Union[Interval, Sequence[float], tuple[float, float]]
@@ -46,6 +48,34 @@ def coerce_query(query: QueryLike) -> tuple[float, float]:
             f"query left endpoint must not exceed right endpoint, got [{left_f}, {right_f}]"
         )
     return (left_f, right_f)
+
+
+def coerce_query_batch(queries) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise a batch of queries to validated ``(lefts, rights)`` arrays.
+
+    Accepts an ``(n, 2)`` float array (validated vectorised — the fastest
+    input path) or any sequence of :class:`Interval` / pair objects.  Every
+    batch API in the library funnels through this one helper so malformed
+    input fails identically regardless of index or input shape.
+    """
+    if isinstance(queries, np.ndarray) and queries.ndim == 2 and queries.shape[1] == 2:
+        try:
+            lefts = np.ascontiguousarray(queries[:, 0], dtype=np.float64)
+            rights = np.ascontiguousarray(queries[:, 1], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise InvalidQueryError(
+                f"query batch must contain numeric endpoints, got dtype {queries.dtype}"
+            ) from exc
+        bad = ~(np.isfinite(lefts) & np.isfinite(rights) & (lefts <= rights))
+        if bad.any():
+            first = int(np.flatnonzero(bad)[0])
+            coerce_query((queries[first, 0], queries[first, 1]))  # raises with detail
+        return lefts, rights
+    pairs = [coerce_query(q) for q in queries]
+    if not pairs:
+        return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64)
+    arr = np.asarray(pairs, dtype=np.float64)
+    return np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1])
 
 
 def validate_sample_size(sample_size: int) -> int:

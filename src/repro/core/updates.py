@@ -98,6 +98,7 @@ def insert_immediate(ait: "AIT", interval: Interval | tuple[float, float]) -> in
     new_id = _append_columns(ait, left, right, weight)
     depth = _descend_and_insert(ait, new_id, left, right, defer_sorting=False)
     ait._height = max(ait._height, depth)
+    ait._structure_version += 1
     _maybe_rebuild(ait)
     return new_id
 
@@ -143,6 +144,7 @@ def flush_pool(ait: "AIT") -> int:
         _bulk_extend_stab(ait, node, added)
 
     ait._height = max_depth
+    ait._structure_version += 1
     _maybe_rebuild(ait)
     return len(pending)
 
@@ -284,4 +286,5 @@ def delete_interval(ait: "AIT", interval_id: int) -> bool:
 
     ait._deleted.add(interval_id)
     ait._active_count -= 1
+    ait._structure_version += 1
     return found

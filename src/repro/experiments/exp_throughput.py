@@ -1,0 +1,113 @@
+"""Throughput — batched (FlatAIT) vs scalar query execution.
+
+Not a table from the paper: this experiment tracks the engineering headroom
+of the reproduction itself.  The paper's complexity results fix the *asymptotic*
+query cost; what dominates wall-clock time in Python is per-query interpreter
+dispatch.  The flat batch engine (:class:`~repro.core.flat.FlatAIT`) amortises
+that dispatch across a whole query batch, and this experiment measures the
+resulting throughput (queries/second) for counting, reporting and sampling,
+per dataset, alongside the scalar-loop baseline and the speedup factor.
+
+``scripts/bench_throughput.py`` runs the same measurement standalone and
+emits machine-readable ``BENCH_throughput.json`` so successive PRs have a
+perf trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..core import AIT
+from ..sampling.rng import resolve_rng
+from .config import ExperimentConfig
+from .harness import build_dataset, build_workload
+from .report import ExperimentResult
+
+__all__ = ["run", "measure_pair"]
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_pair(
+    scalar_fn: Callable[[], object],
+    batch_fn: Callable[[], object],
+    query_count: int,
+    repeats: int = 1,
+) -> tuple[float, float, float]:
+    """Best-of-N timings for a scalar loop vs its batch counterpart.
+
+    Returns ``(scalar_qps, batch_qps, speedup)``; both callables must answer
+    the same ``query_count`` queries.
+    """
+    scalar_s = _best_of(scalar_fn, repeats)
+    batch_s = _best_of(batch_fn, repeats)
+    scalar_qps = query_count / scalar_s if scalar_s > 0 else float("inf")
+    batch_qps = query_count / batch_s if batch_s > 0 else float("inf")
+    return scalar_qps, batch_qps, (batch_qps / scalar_qps if scalar_qps > 0 else float("inf"))
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure scalar vs batch throughput of the AIT per dataset and operation."""
+    result = ExperimentResult(
+        experiment_id="throughput",
+        title="Batch vs scalar query throughput [queries/sec]",
+        columns=["dataset", "operation", "scalar_qps", "batch_qps", "speedup"],
+        notes=(
+            "Scalar = one Python call per query on the pointer-based AIT; "
+            "batch = count_many/report_many/sample_many on the flat "
+            "structure-of-arrays engine.  The speedup is pure constant-factor "
+            "(identical asymptotics and identical results)."
+        ),
+    )
+    repeats = max(1, config.repeats)
+    for dataset_name in config.datasets:
+        dataset = build_dataset(config, dataset_name)
+        workload = build_workload(config, dataset, dataset_name)
+        queries = list(workload)
+        query_array = np.asarray(queries, dtype=np.float64)
+        tree = AIT(dataset)
+        tree.flat()  # snapshot once; both paths then query a warm structure
+
+        def scalar_sample():
+            # One Generator per invocation (like a real serving loop), created
+            # outside the per-query iteration so its construction cost is not
+            # charged to the scalar side.
+            rng = resolve_rng(0)
+            return [tree.sample(q, config.sample_size, random_state=rng) for q in queries]
+
+        operations = {
+            "count": (
+                lambda: [tree.count(q) for q in queries],
+                lambda: tree.count_many(query_array),
+            ),
+            "report": (
+                lambda: [tree.report(q) for q in queries],
+                lambda: tree.report_many(query_array),
+            ),
+            "sample": (
+                scalar_sample,
+                lambda: tree.sample_many(query_array, config.sample_size, random_state=0),
+            ),
+        }
+        for operation, (scalar_fn, batch_fn) in operations.items():
+            scalar_qps, batch_qps, speedup = measure_pair(
+                scalar_fn, batch_fn, len(queries), repeats
+            )
+            result.add_row(
+                dataset=dataset_name,
+                operation=operation,
+                scalar_qps=scalar_qps,
+                batch_qps=batch_qps,
+                speedup=speedup,
+            )
+    return result

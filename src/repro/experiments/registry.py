@@ -8,6 +8,7 @@ from typing import Callable
 from .config import ExperimentConfig
 from .report import ExperimentResult
 from . import (
+    exp_throughput,
     exp_fig5_scaling,
     exp_fig6_extent,
     exp_fig7_samples,
@@ -55,6 +56,9 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
     "fig9": ExperimentEntry("fig9", "Running time vs query extent (weighted)", exp_fig9_weighted_extent.run),
     "fig10": ExperimentEntry("fig10", "Running time vs dataset size (weighted)", exp_fig10_weighted_scaling.run),
     "table10": ExperimentEntry("table10", "Range counting time", exp_table10_counting.run),
+    "throughput": ExperimentEntry(
+        "throughput", "Batch vs scalar query throughput (FlatAIT engine)", exp_throughput.run
+    ),
 }
 
 

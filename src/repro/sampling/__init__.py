@@ -7,6 +7,8 @@ from .cumulative import (
     prefix_sums,
     range_weight,
     sample_from_prefix_range,
+    segmented_inverse_cdf,
+    segmented_searchsorted,
 )
 from .rng import RandomState, resolve_rng, spawn_rngs
 from .uniform import (
@@ -25,6 +27,8 @@ __all__ = [
     "prefix_sums",
     "range_weight",
     "sample_from_prefix_range",
+    "segmented_inverse_cdf",
+    "segmented_searchsorted",
     "RandomState",
     "resolve_rng",
     "spawn_rngs",
