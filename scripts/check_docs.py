@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Documentation gate: doctests, markdown link integrity, snippet execution.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py             # run every check
+    PYTHONPATH=src python scripts/check_docs.py doctests    # docstring examples
+    PYTHONPATH=src python scripts/check_docs.py links       # docs/*.md + README links
+    PYTHONPATH=src python scripts/check_docs.py snippets    # ```python blocks execute
+
+Three checks keep the documentation subsystem from rotting:
+
+* **doctests** — every ``>>>`` example in the public-API docstrings
+  (:data:`DOCTEST_MODULES`) runs via :mod:`doctest` and must reproduce its
+  output;
+* **links** — every relative markdown link in ``README.md`` and ``docs/*.md``
+  must point at a file that exists in the repo (external http(s) links are
+  not fetched);
+* **snippets** — every fenced ```python`` block in ``README.md`` and
+  ``docs/*.md`` must execute without raising (run under ``PYTHONPATH=src``,
+  sharing one namespace per file, in file order).
+
+``tests/test_docs.py`` runs the same three checks inside the tier-1 suite;
+this script is the standalone/CI entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import importlib
+import io
+import re
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Public-API modules whose docstring examples are executable documentation.
+DOCTEST_MODULES: tuple[str, ...] = (
+    "repro",
+    "repro.core.ait",
+    "repro.core.ait_v",
+    "repro.core.awit",
+    "repro.core.base",
+    "repro.core.dataset",
+    "repro.core.flat",
+    "repro.core.interval",
+    "repro.service.engine",
+    "repro.service.shard",
+    "repro.service.executor",
+)
+
+#: Markdown files whose links and python snippets are checked.
+DOC_FILES: tuple[str, ...] = ("README.md",) + tuple(
+    str(path.relative_to(REPO_ROOT)) for path in sorted((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_PYTHON_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def run_doctests() -> list[str]:
+    """Run all docstring examples; return a list of failure descriptions."""
+    failures: list[str] = []
+    for module_name in DOCTEST_MODULES:
+        module = importlib.import_module(module_name)
+        result = doctest.testmod(module, verbose=False, report=True)
+        if result.failed:
+            failures.append(f"{module_name}: {result.failed}/{result.attempted} examples failed")
+        else:
+            print(f"doctests ok: {module_name} ({result.attempted} examples)")
+    return failures
+
+
+def check_links(docs: tuple[str, ...] = DOC_FILES) -> list[str]:
+    """Verify every relative markdown link target exists; return failures."""
+    failures: list[str] = []
+    for doc in docs:
+        doc_path = REPO_ROOT / doc
+        text = doc_path.read_text()
+        checked = 0
+        broken = 0
+        for match in _LINK_PATTERN.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (doc_path.parent / relative).resolve()
+            if not resolved.exists():
+                failures.append(f"{doc}: broken link -> {target}")
+                broken += 1
+            checked += 1
+        if broken:
+            print(f"links FAILED: {doc} ({broken}/{checked} relative links broken)")
+        else:
+            print(f"links ok: {doc} ({checked} relative links)")
+    return failures
+
+
+def run_snippets(docs: tuple[str, ...] = DOC_FILES) -> list[str]:
+    """Execute every ```python block in the doc files; return failures."""
+    failures: list[str] = []
+    for doc in docs:
+        text = (REPO_ROOT / doc).read_text()
+        blocks = _PYTHON_FENCE.findall(text)
+        namespace: dict = {}
+        failed = 0
+        for index, block in enumerate(blocks):
+            try:
+                with redirect_stdout(io.StringIO()):
+                    exec(compile(block, f"<{doc} block {index}>", "exec"), namespace)
+            except Exception as exc:  # noqa: BLE001 - report and continue
+                failures.append(f"{doc} python block {index}: {type(exc).__name__}: {exc}")
+                failed += 1
+        if failed:
+            print(f"snippets FAILED: {doc} ({failed}/{len(blocks)} python blocks failed)")
+        else:
+            print(f"snippets ok: {doc} ({len(blocks)} python blocks)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "checks",
+        nargs="*",
+        choices=["doctests", "links", "snippets", []],
+        help="which checks to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    runners = {"doctests": run_doctests, "links": check_links, "snippets": run_snippets}
+    failures: list[str] = []
+    for check in args.checks or ["doctests", "links", "snippets"]:
+        failures.extend(runners[check]())
+    if failures:
+        print("\nFAILURES:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nall documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,8 +39,9 @@ from .core import (
     UnsupportedOperationError,
 )
 from .sampling import AliasTable, CumulativeSampler
+from .service import ShardedEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AIT",
@@ -54,6 +55,7 @@ __all__ = [
     "IntervalDataset",
     "IntervalIndex",
     "SamplingIndex",
+    "ShardedEngine",
     "ListKind",
     "NodeRecord",
     "ReproError",

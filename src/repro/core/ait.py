@@ -198,6 +198,32 @@ class AIT(SamplingIndex):
         return self._rebuild_count
 
     @property
+    def structure_version(self) -> int:
+        """Monotone counter bumped on every structural change of the tree.
+
+        Rebuilds, immediate insertions, pool flushes and deletions of indexed
+        intervals all advance the version.  Operations confined to the
+        batch-insertion pool do not: a pooled insertion, or a deletion that
+        removes a still-pooled interval, changes the active set without
+        touching the tree.  Snapshot consumers — :meth:`flat` and the
+        per-shard snapshots of :class:`repro.service.ShardedEngine` — compare
+        this counter against the version they serialised to decide whether a
+        cached snapshot is still valid; they exclude the pool (the query
+        wrappers merge it separately), so pool-only changes need no
+        re-snapshot.
+
+        Examples
+        --------
+        >>> from repro import AIT, IntervalDataset
+        >>> tree = AIT(IntervalDataset.from_pairs([(0, 1), (2, 3)]))
+        >>> before = tree.structure_version
+        >>> _ = tree.insert((4, 5), immediate=True)
+        >>> tree.structure_version > before
+        True
+        """
+        return self._structure_version
+
+    @property
     def pending_pool_size(self) -> int:
         """Number of intervals waiting in the batch-insertion pool."""
         return len(self._pool)

@@ -26,7 +26,24 @@ OnEmpty = str  # "empty" | "raise"
 
 
 class IntervalIndex(abc.ABC):
-    """Base class for structures answering range queries over an interval dataset."""
+    """Base class for structures answering range queries over an interval dataset.
+
+    Every index — the paper's structures and every baseline — exposes the
+    same scalar (:meth:`count` / :meth:`report`) and batch (:meth:`count_many`
+    / :meth:`report_many`) query API, so the experiment harness and the tests
+    can treat them uniformly.
+
+    Examples
+    --------
+    >>> from repro import AIT, IntervalDataset
+    >>> index = AIT(IntervalDataset.from_pairs([(0, 10), (5, 15), (20, 30)]))
+    >>> index.count((4, 12))
+    2
+    >>> index.count_many([(4, 12), (18, 25), (100, 110)]).tolist()
+    [2, 1, 0]
+    >>> [ids.tolist() for ids in index.report_many([(18, 25)])]
+    [[2]]
+    """
 
     def __init__(self, dataset: IntervalDataset) -> None:
         dataset.require_nonempty()
@@ -108,7 +125,25 @@ def _iter_queries(queries) -> list[tuple[float, float]]:
 
 
 class SamplingIndex(IntervalIndex):
-    """An interval index that supports independent range sampling."""
+    """An interval index that supports independent range sampling.
+
+    Adds :meth:`sample` (the paper's core operation: ``s`` independent draws
+    from ``q ∩ X`` without materialising it), plus batch
+    (:meth:`sample_many`) and without-replacement (:meth:`sample_distinct`)
+    variants.
+
+    Examples
+    --------
+    >>> from repro import AIT, IntervalDataset
+    >>> index = AIT(IntervalDataset.from_pairs([(0, 10), (5, 15), (20, 30)]))
+    >>> draws = index.sample((4, 12), sample_size=100, random_state=0)
+    >>> sorted(set(draws.tolist()))
+    [0, 1]
+    >>> index.sample((100, 110), 5).shape   # empty result set -> empty array
+    (0,)
+    >>> sorted(index.sample_distinct((4, 12), 2, random_state=1).tolist())
+    [0, 1]
+    """
 
     @abc.abstractmethod
     def sample(

@@ -95,6 +95,17 @@ class Interval:
         Arbitrary user payload carried along with the interval (e.g. a taxi
         trip id).  It does not participate in equality or hashing beyond the
         default dataclass semantics.
+
+    Examples
+    --------
+    >>> a = Interval(0.0, 10.0)
+    >>> b = Interval(8.0, 12.0, weight=2.5)
+    >>> a.overlaps(b)
+    True
+    >>> a.length
+    10.0
+    >>> b.weight
+    2.5
     """
 
     left: float

@@ -8,6 +8,7 @@ from typing import Callable
 from .config import ExperimentConfig
 from .report import ExperimentResult
 from . import (
+    exp_service_throughput,
     exp_throughput,
     exp_fig5_scaling,
     exp_fig6_extent,
@@ -58,6 +59,11 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
     "table10": ExperimentEntry("table10", "Range counting time", exp_table10_counting.run),
     "throughput": ExperimentEntry(
         "throughput", "Batch vs scalar query throughput (FlatAIT engine)", exp_throughput.run
+    ),
+    "service_throughput": ExperimentEntry(
+        "service_throughput",
+        "Sharded service throughput vs shard count (ShardedEngine)",
+        exp_service_throughput.run,
     ),
 }
 

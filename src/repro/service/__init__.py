@@ -1,0 +1,23 @@
+"""Serving layer: sharded, update-aware batch query execution over FlatAIT.
+
+The :mod:`repro.service` subsystem turns the single-snapshot batch engine of
+:class:`~repro.core.flat.FlatAIT` into something deployable: a
+:class:`ShardedEngine` that partitions the dataset across shards, answers
+batches by scatter-gather with exact (counting/reporting) or
+distribution-identical (sampling) semantics, and absorbs writes through
+per-shard delta logs with versioned snapshot refresh.  See
+``docs/ARCHITECTURE.md`` for the layer map and the sampling-correctness
+argument.
+"""
+
+from .engine import ShardedEngine
+from .executor import SerialExecutor, ThreadedExecutor, resolve_executor
+from .shard import Shard
+
+__all__ = [
+    "ShardedEngine",
+    "Shard",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "resolve_executor",
+]

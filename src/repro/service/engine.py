@@ -1,0 +1,455 @@
+"""ShardedEngine — scatter-gather query serving on top of FlatAIT snapshots.
+
+This is the serving layer the reproduction grows toward: it partitions an
+:class:`~repro.core.dataset.IntervalDataset` across ``K`` shards, keeps one
+:class:`~repro.core.flat.FlatAIT` snapshot per shard, and answers the full
+batch API (``count_many`` / ``report_many`` / ``sample_many`` /
+``total_weight_many``) by fanning each batch out over the shards and merging
+the partial results:
+
+* **counting** and **weighted counting** merge by summation — each interval
+  lives in exactly one shard, so per-shard results partition ``q ∩ X``;
+* **reporting** merges by concatenation, with shard-local ids mapped back to
+  engine-global ids;
+* **sampling** stays *exactly* i.i.d.: for each query the engine first draws
+  how many of its ``s`` samples fall into each shard from a multinomial over
+  the per-shard overlap counts (overlap *weights* for weighted engines), then
+  delegates those draws to each shard's vectorised ``sample_many`` and
+  shuffles the merged row.  Conditioning on shard membership, a uniform
+  (weight-proportional) draw within the shard is uniform
+  (weight-proportional) over all of ``q ∩ X`` — the same two-stage argument
+  that makes the paper's record-level alias sampling exact (Theorem 3 /
+  Corollary 5), lifted one level up.  See ``docs/ARCHITECTURE.md`` for the
+  full derivation.
+
+Writes (:meth:`ShardedEngine.insert` / :meth:`ShardedEngine.delete`) are
+routed to the owning shard's buffered delta log and applied by a versioned
+snapshot refresh at the next batch boundary — a snapshot is rebuilt lazily,
+never mid-batch, so one scatter-gather round always observes one consistent
+version per shard.
+
+The scatter-gather step executes through a pluggable executor
+(:mod:`repro.service.executor`): a serial loop by default, a thread pool
+(``executor="threads"``) when shards are large enough for the GIL-releasing
+NumPy kernels to run in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.dataset import IntervalDataset
+from ..core.errors import EmptyResultError, InvalidIntervalError, StructureStateError
+from ..core.flat import FlatAIT
+from ..core.interval import Interval, validate_endpoints
+from ..core.query import QueryLike, validate_sample_size
+from ..sampling.rng import RandomState, resolve_rng, spawn_rngs
+from .executor import resolve_executor
+from .shard import Shard
+
+__all__ = ["ShardedEngine"]
+
+_ID = np.int64
+_F8 = np.float64
+
+
+class ShardedEngine:
+    """Sharded, update-aware, batch-first query service over interval data.
+
+    Parameters
+    ----------
+    dataset:
+        The intervals to serve.  Must contain at least ``num_shards``
+        intervals so every shard starts non-empty.
+    num_shards:
+        Number of partitions (``K``).  ``K = 1`` degenerates to a thin
+        wrapper around a single :class:`~repro.core.flat.FlatAIT`.
+    policy:
+        How intervals map to shards — ``"round_robin"`` (default; balances
+        cardinality) or ``"range"`` (contiguous midpoint ranges; narrow
+        queries touch few shards).  See
+        :meth:`IntervalDataset.partition_indices`.
+    weighted:
+        Build :class:`~repro.core.awit.AWIT` shards (weight-proportional
+        sampling).  Defaults to ``dataset.is_weighted``.  Weighted engines
+        reject updates, mirroring the paper's static AWIT (Section IV-A).
+    executor:
+        ``None`` / ``"serial"``, ``"threads"``, or any object with an
+        order-preserving ``map(fn, items)``.
+    batch_pool_size:
+        Forwarded to each shard's tree (capacity of the paper's pooled
+        insertion buffer).
+
+    Examples
+    --------
+    >>> from repro import IntervalDataset
+    >>> from repro.service import ShardedEngine
+    >>> data = IntervalDataset.from_pairs([(0, 10), (5, 15), (20, 30), (25, 40)])
+    >>> engine = ShardedEngine(data, num_shards=2)
+    >>> engine.count_many([(4, 12), (18, 26)]).tolist()
+    [2, 2]
+    >>> new_id = engine.insert((8, 22))
+    >>> engine.count((4, 12))
+    3
+    >>> engine.delete(new_id)
+    True
+    >>> engine.count((4, 12))
+    2
+    """
+
+    def __init__(
+        self,
+        dataset: IntervalDataset,
+        num_shards: int = 4,
+        policy: str = "round_robin",
+        weighted: Optional[bool] = None,
+        executor=None,
+        batch_pool_size: Optional[int] = None,
+    ) -> None:
+        self._weighted = dataset.is_weighted if weighted is None else bool(weighted)
+        parts = dataset.partition_indices(num_shards, policy)
+        self._policy = policy
+        self._shards = [
+            Shard(i, dataset, ids, self._weighted, batch_pool_size)
+            for i, ids in enumerate(parts)
+        ]
+        self._executor, self._owns_executor = resolve_executor(executor)
+
+        owner = np.empty(len(dataset), dtype=_ID)
+        for i, ids in enumerate(parts):
+            owner[ids] = i
+        # Global-id -> shard map as a bare int64 array (amortised growth on
+        # insert): at the scale this layer targets a boxed-int container
+        # would cost an order of magnitude more memory.
+        self._owner = owner
+        self._owner_count = len(dataset)
+        self._next_global = len(dataset)
+        self._deleted: set[int] = set()
+        self._active = len(dataset)
+        self._rr_cursor = len(dataset) % len(self._shards)
+        if policy == "range":
+            # Upper midpoint of each shard but the last: the routing fence for
+            # future inserts (searchsorted keeps new intervals with their
+            # nearest midpoint neighbours).
+            midpoints = (dataset.lefts + dataset.rights) / 2.0
+            self._range_bounds = np.array(
+                [float(midpoints[ids].max()) for ids in parts[:-1]], dtype=_F8
+            )
+        else:
+            self._range_bounds = None
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """Number of shards (``K``)."""
+        return len(self._shards)
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when shards are AWITs and sampling is weight-proportional."""
+        return self._weighted
+
+    @property
+    def policy(self) -> str:
+        """The partitioning policy this engine was built with."""
+        return self._policy
+
+    @property
+    def size(self) -> int:
+        """Number of active intervals, including writes still in delta logs."""
+        return self._active
+
+    def __len__(self) -> int:
+        return self._active
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        """The shard objects, in partition order (read-only view)."""
+        return tuple(self._shards)
+
+    def shard_sizes(self) -> list[int]:
+        """Active interval count per shard (snapshot view; pending writes excluded)."""
+        return [shard.size for shard in self._shards]
+
+    def versions(self) -> list[int]:
+        """Current snapshot version of every shard."""
+        return [shard.version for shard in self._shards]
+
+    def pending_ops(self) -> int:
+        """Total buffered writes not yet folded into shard snapshots."""
+        return sum(shard.pending_ops for shard in self._shards)
+
+    def shard_of(self, global_id: int) -> int:
+        """Index of the shard owning ``global_id`` (deleted ids keep their owner)."""
+        g = int(global_id)
+        if g < 0 or g >= self._owner_count:
+            raise KeyError(f"interval id {global_id} was never assigned")
+        return int(self._owner[g])
+
+    def _append_owner(self, shard_idx: int) -> None:
+        if self._owner_count == self._owner.shape[0]:
+            grow = max(16, self._owner.shape[0] // 2)
+            self._owner = np.concatenate((self._owner, np.empty(grow, dtype=_ID)))
+        self._owner[self._owner_count] = shard_idx
+        self._owner_count += 1
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint across all shards (trees + snapshots)."""
+        return sum(shard.nbytes() for shard in self._shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "weighted " if self._weighted else ""
+        return (
+            f"ShardedEngine({self._active} {kind}intervals, "
+            f"shards={self.num_shards}, policy={self._policy!r})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> list[int]:
+        """Apply every buffered write and return the new per-shard versions.
+
+        Called automatically at the start of every batch; exposed so callers
+        can pay the refresh cost at a moment of their choosing (e.g. off the
+        request path).
+        """
+        for shard in self._shards:
+            if shard.pending_ops:
+                shard.refresh()
+        return self.versions()
+
+    def close(self) -> None:
+        """Shut down the executor if this engine created it."""
+        if self._owns_executor:
+            self._executor.shutdown()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _map_shards(self, fn):
+        return self._executor.map(fn, self._shards)
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, interval: Interval | tuple[float, float]) -> int:
+        """Buffer the insertion of a new interval; return its global id.
+
+        The write lands in the owning shard's delta log and becomes visible
+        to the first batch that starts after it (the next snapshot refresh).
+        Round-robin engines rotate ownership; range engines route by
+        midpoint so the shard keyspace stays contiguous.
+        """
+        if self._weighted:
+            raise StructureStateError(
+                "weighted engines are static: the AWIT does not support updates (Section IV-A)"
+            )
+        if isinstance(interval, Interval):
+            left, right = interval.left, interval.right
+        else:
+            try:
+                left, right = interval
+                left, right = float(left), float(right)
+            except (TypeError, ValueError) as exc:
+                raise InvalidIntervalError(
+                    f"insert expects an Interval or a (left, right) pair, got {interval!r}"
+                ) from exc
+        validate_endpoints(left, right)
+        if self._range_bounds is not None:
+            midpoint = (left + right) / 2.0
+            shard_idx = int(np.searchsorted(self._range_bounds, midpoint, side="left"))
+        else:
+            shard_idx = self._rr_cursor
+            self._rr_cursor = (self._rr_cursor + 1) % len(self._shards)
+        global_id = self._next_global
+        self._next_global += 1
+        self._append_owner(shard_idx)
+        self._shards[shard_idx].buffer_insert(global_id, left, right)
+        self._active += 1
+        return global_id
+
+    def delete(self, global_id: int) -> bool:
+        """Buffer the deletion of ``global_id``; return True when it was active.
+
+        Like :meth:`insert`, the write is applied at the next snapshot
+        refresh; double deletes and unknown ids return False immediately.
+        """
+        if self._weighted:
+            raise StructureStateError(
+                "weighted engines are static: the AWIT does not support updates (Section IV-A)"
+            )
+        try:
+            g = int(global_id)
+        except (TypeError, ValueError):
+            return False
+        if g < 0 or g >= self._owner_count or g in self._deleted:
+            return False
+        self._deleted.add(g)
+        self._shards[int(self._owner[g])].buffer_delete(g)
+        self._active -= 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # batch queries (scatter-gather)
+    # ------------------------------------------------------------------ #
+    def count_many(self, queries) -> np.ndarray:
+        """``|q ∩ X|`` per query: per-shard flat counts, merged by summation."""
+        ql, qr = FlatAIT.coerce_queries(queries)
+        self.refresh()
+        rows = self._map_shards(lambda shard: shard.snapshot._count_many(ql, qr))
+        return np.sum(rows, axis=0, dtype=_ID) if rows else np.zeros(ql.shape[0], dtype=_ID)
+
+    def total_weight_many(self, queries) -> np.ndarray:
+        """Total weight of ``q ∩ X`` per query (counts for unweighted engines)."""
+        ql, qr = FlatAIT.coerce_queries(queries)
+        self.refresh()
+        rows = self._map_shards(lambda shard: shard.snapshot._total_weight_many(ql, qr))
+        return np.sum(rows, axis=0, dtype=_F8) if rows else np.zeros(ql.shape[0], dtype=_F8)
+
+    def report_many(self, queries) -> list[np.ndarray]:
+        """Overlapping global ids per query, shard-major (per-shard traversal order)."""
+        ql, qr = FlatAIT.coerce_queries(queries)
+        self.refresh()
+
+        def shard_report(shard: Shard) -> list[np.ndarray]:
+            return [shard.to_global(chunk) for chunk in shard.snapshot._report_many(ql, qr)]
+
+        per_shard = self._map_shards(shard_report)
+        nq = int(ql.shape[0])
+        if nq == 0:
+            return []
+        return [
+            np.concatenate([chunks[i] for chunks in per_shard]) for i in range(nq)
+        ]
+
+    def sample_many(
+        self,
+        queries,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: str = "empty",
+    ) -> list[np.ndarray]:
+        """Draw ``sample_size`` i.i.d. samples per query across all shards.
+
+        Stage 1 allocates each query's draws over the shards with one
+        batched multinomial over per-shard overlap counts (weights for
+        weighted engines); stage 2 delegates to each shard's vectorised
+        ``sample_many`` and keeps the first ``allocated`` draws of every row
+        (rows are exchangeable, so a prefix is itself an i.i.d. sample);
+        stage 3 merges and shuffles each query's row so the output carries no
+        shard-grouping information.  The composite per-draw law is exactly
+        ``1/|q ∩ X|`` (``w(x)/W`` when weighted) — see ``docs/ARCHITECTURE.md``.
+        """
+        if on_empty not in ("empty", "raise"):
+            raise ValueError(f"on_empty must be 'empty' or 'raise', got {on_empty!r}")
+        sample_size = validate_sample_size(sample_size)
+        ql, qr = FlatAIT.coerce_queries(queries)
+        self.refresh()
+        rng = resolve_rng(random_state)
+        nq = int(ql.shape[0])
+        num_shards = len(self._shards)
+
+        if self._weighted:
+            masses = self._map_shards(lambda shard: shard.snapshot._total_weight_many(ql, qr))
+        else:
+            masses = self._map_shards(
+                lambda shard: shard.snapshot._count_many(ql, qr).astype(_F8)
+            )
+        mass = np.stack(masses) if nq else np.zeros((num_shards, 0), dtype=_F8)
+        totals = mass.sum(axis=0)
+        answerable = totals > 0
+        if on_empty == "raise" and not answerable.all():
+            bad = int(np.flatnonzero(~answerable)[0])
+            raise EmptyResultError(f"query [{ql[bad]}, {qr[bad]}] matched no intervals")
+
+        empty = np.empty(0, dtype=_ID)
+        if sample_size == 0 or not answerable.any():
+            return [empty.copy() for _ in range(nq)]
+
+        live = np.flatnonzero(answerable)
+        n_live = live.shape[0]
+        # Stage 1: one multinomial row per live query over its shard masses.
+        pvals = (mass[:, live] / totals[live]).T  # (n_live, K)
+        alloc = rng.multinomial(sample_size, pvals)  # (n_live, K)
+
+        # Independent child generators, derived *before* dispatch, make the
+        # result deterministic under any executor (no shared-stream races).
+        shard_rngs = spawn_rngs(rng, num_shards)
+
+        def shard_draw(shard: Shard):
+            counts = alloc[:, shard.shard_id]
+            selected = np.flatnonzero(counts > 0)
+            if selected.shape[0] == 0:
+                return selected, counts, []
+            shard_rng = shard_rngs[shard.shard_id]
+            # The flat engine draws one fixed sample count per batch, so
+            # bucket the queries by the power-of-two ceiling of their
+            # allocation: each bucket draws its own max (over-draw bounded at
+            # 2x) instead of every query drawing the shard-wide max.
+            caps = counts[selected]
+            levels = np.ceil(np.log2(caps)).astype(_ID)
+            rows: list[np.ndarray] = [empty] * selected.shape[0]
+            for level in np.unique(levels):
+                members = np.flatnonzero(levels == level)
+                bucket = selected[members]
+                cap = int(caps[members].max())
+                drawn = shard.snapshot._sample_many(
+                    ql[live][bucket], qr[live][bucket], cap, shard_rng
+                )
+                for position, row in zip(members, drawn):
+                    rows[int(position)] = shard.to_global(row)
+            return selected, counts, rows
+
+        per_shard = self._map_shards(shard_draw)
+
+        # Stage 3: merge per-shard prefixes into one (n_live, s) matrix ...
+        merged = np.empty((n_live, sample_size), dtype=_ID)
+        cursor = np.zeros(n_live, dtype=_ID)
+        for selected, counts, rows in per_shard:
+            for row_ids, query_row in zip(rows, selected):
+                take = int(counts[query_row])
+                start = int(cursor[query_row])
+                merged[query_row, start : start + take] = row_ids[:take]
+                cursor[query_row] = start + take
+        # ... and shuffle each row: the multinomial groups draws by shard, and
+        # a uniform per-row permutation restores the exchangeable i.i.d. law
+        # (same argument as FlatAIT.sample_many's record-grouping shuffle).
+        rng.permuted(merged, axis=1, out=merged)
+
+        out: list[np.ndarray] = [empty] * nq
+        for row, query_index in enumerate(live):
+            out[int(query_index)] = merged[row]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # scalar convenience wrappers
+    # ------------------------------------------------------------------ #
+    def count(self, query: QueryLike) -> int:
+        """``|q ∩ X|`` for a single query."""
+        return int(self.count_many([query])[0])
+
+    def total_weight(self, query: QueryLike) -> float:
+        """Total weight of ``q ∩ X`` for a single query."""
+        return float(self.total_weight_many([query])[0])
+
+    def report(self, query: QueryLike) -> np.ndarray:
+        """Global ids of the intervals overlapping a single query."""
+        return self.report_many([query])[0]
+
+    def sample(
+        self,
+        query: QueryLike,
+        sample_size: int,
+        random_state: RandomState = None,
+        on_empty: str = "empty",
+    ) -> np.ndarray:
+        """Draw ``sample_size`` i.i.d. samples from a single query's result set."""
+        return self.sample_many([query], sample_size, random_state, on_empty)[0]

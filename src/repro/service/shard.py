@@ -1,0 +1,182 @@
+"""One shard of a :class:`~repro.service.engine.ShardedEngine`.
+
+A shard owns a disjoint subset of the engine's intervals.  Internally it
+keeps three layers of state:
+
+* a **local tree** — an :class:`~repro.core.ait.AIT` (or
+  :class:`~repro.core.awit.AWIT` for weighted engines) built over the shard's
+  intervals, addressed by *local* ids ``0..m-1``;
+* an **id map** between local and engine-global ids (``global_ids[local]``
+  and its inverse), so query results can be reported in the engine's id
+  space;
+* a **delta log** of buffered writes plus a **versioned snapshot** — the
+  :class:`~repro.core.flat.FlatAIT` the batch queries execute on.
+
+Writes never touch the snapshot directly: the engine appends them to the
+delta log (:meth:`Shard.buffer_insert` / :meth:`Shard.buffer_delete`) and the
+log is replayed into the local tree by :meth:`Shard.refresh` — which the
+engine calls at *batch boundaries only*, so a snapshot is never replaced
+mid-batch.  Replay uses the paper's pooled-insertion path and flushes the
+pool afterwards, which keeps a refreshed snapshot self-contained (no separate
+pool scan on the batch path) and bumps :attr:`Shard.version` exactly when the
+visible state changed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.ait import AIT
+from ..core.awit import AWIT
+from ..core.dataset import IntervalDataset
+from ..core.flat import FlatAIT
+
+__all__ = ["Shard", "DeltaOp"]
+
+#: One buffered write: ``("insert", global_id, left, right)`` or
+#: ``("delete", global_id)``.
+DeltaOp = Union[tuple[str, int, float, float], tuple[str, int]]
+
+
+class Shard:
+    """A partition of the engine's dataset with its own tree, snapshot and delta log."""
+
+    __slots__ = (
+        "shard_id",
+        "tree",
+        "_global_ids",
+        "_id_count",
+        "_local_of",
+        "_global_map",
+        "_pending",
+        "_snapshot",
+        "_snapshot_tree_version",
+        "_version",
+    )
+
+    def __init__(
+        self,
+        shard_id: int,
+        dataset: IntervalDataset,
+        global_ids: np.ndarray,
+        weighted: bool,
+        batch_pool_size: Optional[int] = None,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        # Local->global id map as a bare int64 array with amortised growth;
+        # the inverse dict is only needed on deletes and is built lazily.
+        self._global_ids = np.asarray(global_ids, dtype=np.int64).copy()
+        self._id_count = int(self._global_ids.shape[0])
+        self._local_of: Optional[dict[int, int]] = None
+        local_dataset = dataset.subset(global_ids)
+        if weighted:
+            self.tree: AIT = AWIT(local_dataset, batch_pool_size=batch_pool_size)
+        else:
+            self.tree = AIT(local_dataset, batch_pool_size=batch_pool_size)
+        self._pending: list[DeltaOp] = []
+        self._snapshot: Optional[FlatAIT] = None
+        self._snapshot_tree_version = -1
+        self._version = 0
+        self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of intervals currently active in this shard (snapshot view)."""
+        return self.tree.size
+
+    @property
+    def version(self) -> int:
+        """Snapshot version; advances whenever :meth:`refresh` changed visible state."""
+        return self._version
+
+    @property
+    def pending_ops(self) -> int:
+        """Number of buffered writes not yet applied to the snapshot."""
+        return len(self._pending)
+
+    @property
+    def snapshot(self) -> FlatAIT:
+        """The flat engine the current batch executes on (apply deltas via :meth:`refresh`)."""
+        assert self._snapshot is not None  # established by __init__
+        return self._snapshot
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint: tree structure plus flat snapshot."""
+        return int(self.tree.memory_bytes()) + int(self.snapshot.nbytes())
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        """Map an array of shard-local interval ids to engine-global ids."""
+        if local_ids.shape[0] == 0:
+            return local_ids
+        return self._global_map[local_ids]
+
+    def _append_global_id(self, global_id: int, local_id: int) -> None:
+        """Record a freshly applied insert in the id maps (amortised growth)."""
+        if self._id_count == self._global_ids.shape[0]:
+            grow = max(16, self._global_ids.shape[0] // 2)
+            self._global_ids = np.concatenate(
+                (self._global_ids, np.empty(grow, dtype=np.int64))
+            )
+        self._global_ids[self._id_count] = global_id
+        self._id_count += 1
+        if self._local_of is not None:
+            self._local_of[int(global_id)] = int(local_id)
+
+    def _local_id_of(self, global_id: int) -> int:
+        """Shard-local id owning ``global_id`` (builds the inverse map on demand)."""
+        if self._local_of is None:
+            self._local_of = {
+                int(g): i for i, g in enumerate(self._global_ids[: self._id_count])
+            }
+        return self._local_of[int(global_id)]
+
+    # ------------------------------------------------------------------ #
+    # delta log
+    # ------------------------------------------------------------------ #
+    def buffer_insert(self, global_id: int, left: float, right: float) -> None:
+        """Append an insertion to the delta log (visible after the next refresh)."""
+        self._pending.append(("insert", int(global_id), float(left), float(right)))
+
+    def buffer_delete(self, global_id: int) -> None:
+        """Append a deletion to the delta log (visible after the next refresh)."""
+        self._pending.append(("delete", int(global_id)))
+
+    def refresh(self) -> bool:
+        """Replay the delta log into the tree and re-snapshot if anything changed.
+
+        Returns True when a new snapshot version was produced.  The engine
+        calls this at the start of every batch — never while a batch is
+        executing — so within one scatter-gather round every shard serves one
+        consistent snapshot.
+        """
+        for op in self._pending:
+            if op[0] == "insert":
+                _, global_id, left, right = op
+                local_id = self.tree.insert((left, right))
+                self._append_global_id(global_id, local_id)
+            else:
+                self.tree.delete(self._local_id_of(op[1]))
+        applied = bool(self._pending)
+        self._pending = []
+        if applied:
+            # Fold any pooled-but-unflushed inserts into the tree so the flat
+            # snapshot is self-contained (no pool scan on the batch path).
+            self.tree.flush_pool()
+        if self._snapshot is None or self.tree.structure_version != self._snapshot_tree_version:
+            self._snapshot = self.tree.flat()
+            self._snapshot_tree_version = self.tree.structure_version
+            self._global_map = self._global_ids[: self._id_count]
+            self._version += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Shard(id={self.shard_id}, size={self.size}, version={self._version}, "
+            f"pending={len(self._pending)})"
+        )

@@ -25,7 +25,7 @@ PAPER_IDS = {
 }
 
 #: Repo-specific experiments registered alongside the paper's tables/figures.
-EXTRA_IDS = {"throughput"}
+EXTRA_IDS = {"throughput", "service_throughput"}
 
 EXPECTED_IDS = PAPER_IDS | EXTRA_IDS
 
@@ -48,6 +48,14 @@ class TestRegistry:
         assert result.rows
         assert result.paper_reference  # every experiment carries the published values
         assert "btc" in result.columns or any("btc" in str(row.values()) for row in result.rows)
+
+    def test_service_throughput_experiment_runs_end_to_end(self):
+        result = run_experiment("service_throughput", TINY)
+        assert result.experiment_id == "service_throughput"
+        shard_counts = {row["shards"] for row in result.rows}
+        assert 0 in shard_counts and len(shard_counts) >= 2  # baseline + sweep
+        assert {row["executor"] for row in result.rows} >= {"none", "serial", "threads"}
+        assert all(row["qps"] > 0 for row in result.rows)
 
     def test_update_experiment_shows_batch_speedup(self):
         result = run_experiment("table7", TINY)
