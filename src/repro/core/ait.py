@@ -75,15 +75,25 @@ class AIT(SamplingIndex):
         dataset: IntervalDataset,
         weighted: bool = False,
         batch_pool_size: Optional[int] = None,
+        snapshot_dirty_threshold: float = 0.5,
     ) -> None:
         super().__init__(dataset)
-        self._lefts = dataset.lefts.copy()
-        self._rights = dataset.rights.copy()
-        self._weights = dataset.weights.copy()
+        # Columnar storage with amortised capacity-doubling growth: the
+        # capacity arrays (`_col_*`) may be longer than the logical column
+        # length (`_col_len`); `_lefts` / `_rights` / `_weights` expose the
+        # logical prefix as views.  Deleted ids park in `_free_slots` and are
+        # recycled by later insertions, so churn workloads do not leak
+        # columns.
+        self._col_lefts = dataset.lefts.copy()
+        self._col_rights = dataset.rights.copy()
+        self._col_weights = dataset.weights.copy()
+        self._col_len = len(dataset)
+        self._free_slots: list[int] = []
         self._weighted = bool(weighted)
         self._deleted: set[int] = set()
         self._active_count = len(dataset)
         self._pool: list[int] = []
+        self._pool_epoch = 0
         self._explicit_pool_size = batch_pool_size
         self._root: Optional[AITNode] = None
         self._height = 0
@@ -91,13 +101,76 @@ class AIT(SamplingIndex):
         self._structure_version = 0
         self._flat: Optional["FlatAIT"] = None
         self._flat_version = -1
+        # Dirty-node journal: nodes whose lists changed since the last flat
+        # snapshot, keyed by id(node) (the dict holds strong references, so
+        # object ids cannot be recycled while journalled).  `_journal_full`
+        # means the whole node set was replaced (rebuild); created and pruned
+        # nodes need no extra flag — the incremental refresh diffs the
+        # current preorder against the previous snapshot's node index.
+        self._journal: dict[int, AITNode] = {}
+        self._journal_full = True
+        self._snapshot_dirty_threshold = float(snapshot_dirty_threshold)
+        self._snapshot_full_builds = 0
+        self._snapshot_incremental_refreshes = 0
         self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # columnar storage
+    # ------------------------------------------------------------------ #
+    @property
+    def _lefts(self) -> np.ndarray:
+        """Logical left-endpoint column (view of the capacity buffer)."""
+        return self._col_lefts[: self._col_len]
+
+    @property
+    def _rights(self) -> np.ndarray:
+        """Logical right-endpoint column (view of the capacity buffer)."""
+        return self._col_rights[: self._col_len]
+
+    @property
+    def _weights(self) -> np.ndarray:
+        """Logical weight column (view of the capacity buffer)."""
+        return self._col_weights[: self._col_len]
+
+    def _ensure_column_capacity(self, extra: int) -> None:
+        """Grow the capacity buffers so ``extra`` more rows fit (amortised O(1))."""
+        need = self._col_len + int(extra)
+        capacity = int(self._col_lefts.shape[0])
+        if need <= capacity:
+            return
+        new_capacity = max(need, 2 * capacity, 16)
+        for name in ("_col_lefts", "_col_rights", "_col_weights"):
+            old = getattr(self, name)
+            grown = np.empty(new_capacity, dtype=old.dtype)
+            grown[: self._col_len] = old[: self._col_len]
+            setattr(self, name, grown)
+
+    # ------------------------------------------------------------------ #
+    # dirty-node journal (consumed by the incremental snapshot refresh)
+    # ------------------------------------------------------------------ #
+    def _mark_dirty(self, node: AITNode) -> None:
+        """Record that ``node``'s lists changed since the last flat snapshot."""
+        self._journal[id(node)] = node
+
+    def _register_new_node(self, node: AITNode) -> None:
+        """Record a freshly created node (it must be gathered, not spliced)."""
+        self._journal[id(node)] = node
+
+    def _reset_journal(self) -> None:
+        self._journal.clear()
+        self._journal_full = False
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
     def _rebuild(self) -> None:
         """(Re)build the tree from the currently active intervals."""
+        self._journal.clear()
+        self._journal_full = True
+        # The cached snapshot can never seed an incremental refresh after a
+        # rebuild; drop it now so it does not pin the old node graph.
+        self._flat = None
+        self._flat_version = -1
         n = int(self._lefts.shape[0])
         active_mask = np.ones(n, dtype=bool)
         if self._deleted:
@@ -210,7 +283,9 @@ class AIT(SamplingIndex):
         this counter against the version they serialised to decide whether a
         cached snapshot is still valid; they exclude the pool (the query
         wrappers merge it separately), so pool-only changes need no
-        re-snapshot.
+        re-snapshot.  Consumers that additionally cache pool-derived state
+        must also watch :attr:`pool_epoch`, which *does* advance on
+        pool-membership changes.
 
         Examples
         --------
@@ -222,6 +297,55 @@ class AIT(SamplingIndex):
         True
         """
         return self._structure_version
+
+    @property
+    def pool_epoch(self) -> int:
+        """Monotone counter bumped on every batch-pool membership change.
+
+        Pooled insertions, deletions of still-pooled intervals, and pool
+        flushes all advance it.  Together with :attr:`structure_version` it
+        fully captures every visible-state change: a consumer that caches a
+        flat snapshot *plus* pool-derived state (the pattern the query
+        wrappers use internally) is stale exactly when either counter moved.
+        Without it, a deletion of a still-pooled interval is invisible to
+        version checks — the pool shrinks but ``structure_version`` stays
+        put by design.
+
+        Examples
+        --------
+        >>> from repro import AIT, IntervalDataset
+        >>> tree = AIT(IntervalDataset.from_pairs([(0, 1), (2, 3)]))
+        >>> pooled = tree.insert((4, 5))            # pooled: epoch moves,
+        >>> structure = tree.structure_version      # structure version not
+        >>> epoch = tree.pool_epoch
+        >>> tree.delete(pooled)                     # pooled delete: same
+        True
+        >>> (tree.structure_version, tree.pool_epoch) == (structure, epoch)
+        False
+        >>> tree.structure_version == structure
+        True
+        """
+        return self._pool_epoch
+
+    @property
+    def snapshot_full_builds(self) -> int:
+        """How many times :meth:`flat` rebuilt the snapshot from scratch."""
+        return self._snapshot_full_builds
+
+    @property
+    def snapshot_incremental_refreshes(self) -> int:
+        """How many times :meth:`flat` patched the snapshot incrementally."""
+        return self._snapshot_incremental_refreshes
+
+    @property
+    def column_capacity(self) -> int:
+        """Allocated rows in the columnar buffers (>= logical length)."""
+        return int(self._col_lefts.shape[0])
+
+    @property
+    def free_slot_count(self) -> int:
+        """Vacated column slots awaiting recycling by future insertions."""
+        return len(self._free_slots)
 
     @property
     def pending_pool_size(self) -> int:
@@ -261,7 +385,9 @@ class AIT(SamplingIndex):
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the tree structure in bytes."""
         total = sum(node.nbytes() for node in self.iter_nodes())
-        total += int(self._lefts.nbytes + self._rights.nbytes + self._weights.nbytes)
+        total += int(
+            self._col_lefts.nbytes + self._col_rights.nbytes + self._col_weights.nbytes
+        )
         return total
 
     # ------------------------------------------------------------------ #
@@ -374,14 +500,35 @@ class AIT(SamplingIndex):
     def flat(self) -> FlatAIT:
         """The flat (structure-of-arrays) engine for the current tree.
 
-        The snapshot is cached and rebuilt lazily whenever the tree structure
-        changes (rebuilds, immediate inserts, pool flushes, deletions).
-        Pooled-but-unflushed inserts do not invalidate it — the batch query
-        wrappers scan the pool separately, like the scalar path does.
+        The snapshot is cached and refreshed lazily whenever the tree
+        structure changes (rebuilds, immediate inserts, pool flushes,
+        deletions).  Pooled-but-unflushed inserts do not invalidate it — the
+        batch query wrappers scan the pool separately, like the scalar path
+        does.
+
+        Refreshes are *incremental* when possible: the dirty-node journal
+        names the nodes touched since the last snapshot, and
+        :meth:`FlatAIT.from_tree` splices only their pool segments into the
+        previous snapshot's arrays.  A full rebuild remains the fallback
+        when the tree was rebuilt from scratch or the dirty fraction exceeds
+        the ``snapshot_dirty_threshold`` passed at construction;
+        :attr:`snapshot_full_builds` and
+        :attr:`snapshot_incremental_refreshes` count which path ran.
         """
         if self._flat is None or self._flat_version != self._structure_version:
-            self._flat = FlatAIT.from_tree(self)
+            previous = None if (self._flat is None or self._journal_full) else self._flat
+            self._flat = FlatAIT.from_tree(
+                self,
+                previous=previous,
+                dirty=self._journal if previous is not None else None,
+                max_dirty_fraction=self._snapshot_dirty_threshold,
+            )
+            if self._flat.built_incrementally:
+                self._snapshot_incremental_refreshes += 1
+            else:
+                self._snapshot_full_builds += 1
             self._flat_version = self._structure_version
+            self._reset_journal()
         return self._flat
 
     def _pool_match_mask(self, ql: np.ndarray, qr: np.ndarray) -> Optional[np.ndarray]:
@@ -571,6 +718,58 @@ class AIT(SamplingIndex):
             return insert_immediate(self, interval)
         return insert_pooled(self, interval)
 
+    def insert_many(self, lefts, rights, weights=None) -> np.ndarray:
+        """Insert a batch of intervals in one vectorised pass; return their ids.
+
+        The endpoints are validated vectorised, appended to the columnar
+        storage in one amortised write (recycling vacated slots first), and
+        merged into the tree through the pooled-insertion machinery with a
+        single deferred re-sort per touched list — orders of magnitude
+        faster than a loop of :meth:`insert` calls.  When the batch is at
+        least as large as the indexed portion of the tree, the merge is a
+        single vectorised rebuild instead.
+
+        Unlike the scalar :meth:`insert`, this path also supports weighted
+        trees (pass ``weights``): the touched lists' weight prefix arrays
+        are recomputed wholesale, which sidesteps the positional-update
+        problem that makes scalar AWIT updates unsupported (Section IV-A).
+
+        Examples
+        --------
+        >>> from repro import AIT, IntervalDataset
+        >>> tree = AIT(IntervalDataset.from_pairs([(0, 10), (20, 30)]))
+        >>> ids = tree.insert_many([2, 4], [6, 8])
+        >>> len(ids)
+        2
+        >>> tree.count((3, 5))
+        3
+        """
+        from .updates import insert_many
+
+        return insert_many(self, lefts, rights, weights)
+
+    def delete_many(self, interval_ids) -> np.ndarray:
+        """Delete a batch of interval ids in one pass; return per-id success flags.
+
+        Equivalent to a loop of :meth:`delete` calls (duplicates within the
+        batch report ``False`` after the first occurrence) but removes all
+        ids from each touched node's lists at once and bumps
+        :attr:`structure_version` a single time.  Supported on weighted
+        trees too, like :meth:`insert_many`.
+
+        Examples
+        --------
+        >>> from repro import AIT, IntervalDataset
+        >>> tree = AIT(IntervalDataset.from_pairs([(0, 10), (20, 30), (40, 50)]))
+        >>> tree.delete_many([1, 1, 99]).tolist()
+        [True, False, False]
+        >>> tree.size
+        2
+        """
+        from .updates import delete_many
+
+        return delete_many(self, interval_ids)
+
     def flush_pool(self) -> int:
         """Merge all pooled insertions into the tree; return how many were merged."""
         from .updates import flush_pool
@@ -621,3 +820,13 @@ class AIT(SamplingIndex):
             if node.right is not None:
                 children |= set(node.right.subtree_ids_by_left.tolist())
             assert subtree == children, "AL lists must equal stab list plus child AL lists"
+            if self._weighted:
+                for ids, prefix in (
+                    (node.stab_ids_by_left, node.stab_weight_by_left),
+                    (node.stab_ids_by_right, node.stab_weight_by_right),
+                    (node.subtree_ids_by_left, node.subtree_weight_by_left),
+                    (node.subtree_ids_by_right, node.subtree_weight_by_right),
+                ):
+                    assert prefix is not None and np.allclose(
+                        prefix, np.cumsum(self._weights[ids])
+                    ), "weight prefix arrays must match the cumulative list weights"

@@ -9,9 +9,26 @@ the cumulative-sum method on the precomputed prefix (O(log n) per draw).  The
 total query cost is ``O(log^2 n + s log n)`` (Corollary 5) and every interval
 ``x ∈ q ∩ X`` is returned with probability ``w(x) / Σ w(x')`` per draw.
 
-Because the prefix arrays are positional, the AWIT does not support updates
-(the paper defers dynamic weighted IRS to future work); :meth:`AIT.insert`
-and :meth:`AIT.delete` raise :class:`~repro.core.errors.StructureStateError`.
+Because the prefix arrays are positional, the AWIT does not support *scalar*
+updates (the paper defers dynamic weighted IRS to future work);
+:meth:`AIT.insert` and :meth:`AIT.delete` raise
+:class:`~repro.core.errors.StructureStateError`.  The repo's engineering
+extension :meth:`AIT.insert_many` / :meth:`AIT.delete_many` *does* work on
+weighted trees: the bulk paths recompute every touched list's prefix array
+wholesale (one ``cumsum`` per touched list), which sidesteps the positional
+patching problem entirely — see ``docs/ARCHITECTURE.md``.
+
+Examples
+--------
+>>> from repro import AWIT, IntervalDataset
+>>> tree = AWIT(IntervalDataset.from_pairs([(0, 10), (5, 15)], weights=[1.0, 9.0]))
+>>> ids = tree.insert_many([20.0], [30.0], weights=[4.0])
+>>> tree.total_weight((0, 40))
+14.0
+>>> tree.delete_many(ids).tolist()
+[True]
+>>> tree.total_weight((0, 40))
+10.0
 """
 
 from __future__ import annotations

@@ -161,6 +161,41 @@ class AITNode:
             self.stab_rights = self.stab_rights[mask]
         return found
 
+    def remove_many_from_stab(self, interval_ids: np.ndarray) -> None:
+        """Remove a batch of interval ids from the stab lists in one pass."""
+        mask = ~np.isin(self.stab_ids_by_left, interval_ids)
+        if not mask.all():
+            self.stab_ids_by_left = self.stab_ids_by_left[mask]
+            self.stab_lefts = self.stab_lefts[mask]
+        mask = ~np.isin(self.stab_ids_by_right, interval_ids)
+        if not mask.all():
+            self.stab_ids_by_right = self.stab_ids_by_right[mask]
+            self.stab_rights = self.stab_rights[mask]
+
+    def remove_many_from_subtree(self, interval_ids: np.ndarray) -> None:
+        """Remove a batch of interval ids from the subtree (AL) lists in one pass."""
+        mask = ~np.isin(self.subtree_ids_by_left, interval_ids)
+        if not mask.all():
+            self.subtree_ids_by_left = self.subtree_ids_by_left[mask]
+            self.subtree_lefts = self.subtree_lefts[mask]
+        mask = ~np.isin(self.subtree_ids_by_right, interval_ids)
+        if not mask.all():
+            self.subtree_ids_by_right = self.subtree_ids_by_right[mask]
+            self.subtree_rights = self.subtree_rights[mask]
+
+    def recompute_weight_prefixes(self, weights: np.ndarray) -> None:
+        """Recompute all four inclusive weight prefix arrays from the weight column.
+
+        The bulk update paths maintain AWIT nodes by wholesale recomputation
+        (one ``cumsum`` per touched list) instead of positional patching —
+        the prefix arrays are positional, so splicing them per-element is
+        exactly the hard case the paper's static-AWIT restriction avoids.
+        """
+        self.stab_weight_by_left = np.cumsum(weights[self.stab_ids_by_left])
+        self.stab_weight_by_right = np.cumsum(weights[self.stab_ids_by_right])
+        self.subtree_weight_by_left = np.cumsum(weights[self.subtree_ids_by_left])
+        self.subtree_weight_by_right = np.cumsum(weights[self.subtree_ids_by_right])
+
     def remove_from_subtree(self, interval_id: int) -> bool:
         """Remove an interval id from the subtree lists; return True when found."""
         found = False

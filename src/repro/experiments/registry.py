@@ -10,6 +10,7 @@ from .report import ExperimentResult
 from . import (
     exp_service_throughput,
     exp_throughput,
+    exp_update_throughput,
     exp_fig5_scaling,
     exp_fig6_extent,
     exp_fig7_samples,
@@ -64,6 +65,11 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
         "service_throughput",
         "Sharded service throughput vs shard count (ShardedEngine)",
         exp_service_throughput.run,
+    ),
+    "update_throughput": ExperimentEntry(
+        "update_throughput",
+        "Mixed read/write throughput vs write ratio and shard count (write path)",
+        exp_update_throughput.run,
     ),
 }
 

@@ -190,12 +190,14 @@ class ShardedEngine:
             raise KeyError(f"interval id {global_id} was never assigned")
         return int(self._owner[g])
 
-    def _append_owner(self, shard_idx: int) -> None:
-        if self._owner_count == self._owner.shape[0]:
-            grow = max(16, self._owner.shape[0] // 2)
+    def _append_owners(self, owners: np.ndarray) -> None:
+        """Record the owning shard of freshly assigned global ids (amortised growth)."""
+        need = self._owner_count + int(owners.shape[0])
+        if need > self._owner.shape[0]:
+            grow = max(16, need - self._owner.shape[0], self._owner.shape[0] // 2)
             self._owner = np.concatenate((self._owner, np.empty(grow, dtype=_ID)))
-        self._owner[self._owner_count] = shard_idx
-        self._owner_count += 1
+        self._owner[self._owner_count : need] = owners
+        self._owner_count = need
 
     def nbytes(self) -> int:
         """Approximate memory footprint across all shards (trees + snapshots)."""
@@ -246,12 +248,9 @@ class ShardedEngine:
         The write lands in the owning shard's delta log and becomes visible
         to the first batch that starts after it (the next snapshot refresh).
         Round-robin engines rotate ownership; range engines route by
-        midpoint so the shard keyspace stays contiguous.
+        midpoint so the shard keyspace stays contiguous.  Thin wrapper over
+        :meth:`insert_many`.
         """
-        if self._weighted:
-            raise StructureStateError(
-                "weighted engines are static: the AWIT does not support updates (Section IV-A)"
-            )
         if isinstance(interval, Interval):
             left, right = interval.left, interval.right
         else:
@@ -263,39 +262,125 @@ class ShardedEngine:
                     f"insert expects an Interval or a (left, right) pair, got {interval!r}"
                 ) from exc
         validate_endpoints(left, right)
+        return int(self.insert_many([left], [right])[0])
+
+    def insert_many(self, lefts, rights) -> np.ndarray:
+        """Buffer a whole insertion batch; return the assigned global ids.
+
+        Validation, shard routing and delta-log buffering are all
+        vectorised: range engines bucket the batch by midpoint with one
+        ``searchsorted``, round-robin engines deal the batch out cyclically,
+        and each owning shard receives a single bulk delta-log entry that
+        :meth:`Shard.refresh` later replays through the tree's
+        ``insert_many``.
+
+        Examples
+        --------
+        >>> from repro import IntervalDataset
+        >>> from repro.service import ShardedEngine
+        >>> data = IntervalDataset.from_pairs([(0, 10), (5, 15), (20, 30), (25, 40)])
+        >>> engine = ShardedEngine(data, num_shards=2)
+        >>> ids = engine.insert_many([8.0, 9.0], [22.0, 23.0])
+        >>> ids.tolist()
+        [4, 5]
+        >>> engine.count((21, 21))
+        3
+        """
+        if self._weighted:
+            raise StructureStateError(
+                "weighted engines are static: the AWIT does not support updates (Section IV-A)"
+            )
+        lefts_arr = np.ascontiguousarray(lefts, dtype=np.float64).reshape(-1)
+        rights_arr = np.ascontiguousarray(rights, dtype=np.float64).reshape(-1)
+        if lefts_arr.shape != rights_arr.shape:
+            raise InvalidIntervalError(
+                f"insert_many expects equally long columns, got {lefts_arr.shape[0]} "
+                f"lefts and {rights_arr.shape[0]} rights"
+            )
+        count = int(lefts_arr.shape[0])
+        bad = ~(np.isfinite(lefts_arr) & np.isfinite(rights_arr)) | (lefts_arr > rights_arr)
+        if bad.any():
+            first = int(np.flatnonzero(bad)[0])
+            raise InvalidIntervalError(
+                f"invalid interval [{lefts_arr[first]}, {rights_arr[first]}] "
+                f"at position {first}"
+            )
+        if count == 0:
+            return np.empty(0, dtype=_ID)
+
         if self._range_bounds is not None:
-            midpoint = (left + right) / 2.0
-            shard_idx = int(np.searchsorted(self._range_bounds, midpoint, side="left"))
+            midpoints = (lefts_arr + rights_arr) / 2.0
+            owners = np.searchsorted(self._range_bounds, midpoints, side="left").astype(_ID)
         else:
-            shard_idx = self._rr_cursor
-            self._rr_cursor = (self._rr_cursor + 1) % len(self._shards)
-        global_id = self._next_global
-        self._next_global += 1
-        self._append_owner(shard_idx)
-        self._shards[shard_idx].buffer_insert(global_id, left, right)
-        self._active += 1
-        return global_id
+            owners = (self._rr_cursor + np.arange(count, dtype=_ID)) % len(self._shards)
+            self._rr_cursor = int((self._rr_cursor + count) % len(self._shards))
+        global_ids = np.arange(self._next_global, self._next_global + count, dtype=_ID)
+        self._next_global += count
+        self._append_owners(owners)
+        for shard_idx in np.unique(owners):
+            members = owners == shard_idx
+            self._shards[int(shard_idx)].buffer_insert_many(
+                global_ids[members], lefts_arr[members], rights_arr[members]
+            )
+        self._active += count
+        return global_ids
 
     def delete(self, global_id: int) -> bool:
         """Buffer the deletion of ``global_id``; return True when it was active.
 
         Like :meth:`insert`, the write is applied at the next snapshot
         refresh; double deletes and unknown ids return False immediately.
+        Thin wrapper over :meth:`delete_many`.
+        """
+        return bool(self.delete_many([global_id])[0])
+
+    def delete_many(self, global_ids) -> np.ndarray:
+        """Buffer a whole deletion batch; return per-id success flags.
+
+        Unknown ids, already-deleted ids and duplicates within the batch
+        report False (after the first occurrence); accepted ids are grouped
+        by owning shard and buffered as one bulk delta-log entry each.
+
+        Examples
+        --------
+        >>> from repro import IntervalDataset
+        >>> from repro.service import ShardedEngine
+        >>> data = IntervalDataset.from_pairs([(0, 10), (5, 15), (20, 30), (25, 40)])
+        >>> engine = ShardedEngine(data, num_shards=2)
+        >>> engine.delete_many([3, 3, 99]).tolist()
+        [True, False, False]
+        >>> engine.size
+        3
         """
         if self._weighted:
             raise StructureStateError(
                 "weighted engines are static: the AWIT does not support updates (Section IV-A)"
             )
         try:
-            g = int(global_id)
-        except (TypeError, ValueError):
-            return False
-        if g < 0 or g >= self._owner_count or g in self._deleted:
-            return False
-        self._deleted.add(g)
-        self._shards[int(self._owner[g])].buffer_delete(g)
-        self._active -= 1
-        return True
+            requested = list(global_ids)
+        except TypeError:
+            requested = [global_ids]
+        results = np.zeros(len(requested), dtype=bool)
+        accepted: list[int] = []
+        for position, raw in enumerate(requested):
+            try:
+                g = int(raw)
+            except (TypeError, ValueError):
+                continue
+            if g < 0 or g >= self._owner_count or g in self._deleted:
+                continue
+            self._deleted.add(g)
+            accepted.append(g)
+            results[position] = True
+        if accepted:
+            accepted_arr = np.asarray(accepted, dtype=_ID)
+            owners = self._owner[accepted_arr]
+            for shard_idx in np.unique(owners):
+                self._shards[int(shard_idx)].buffer_delete_many(
+                    accepted_arr[owners == shard_idx]
+                )
+            self._active -= len(accepted)
+        return results
 
     # ------------------------------------------------------------------ #
     # batch queries (scatter-gather)

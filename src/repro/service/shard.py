@@ -5,7 +5,9 @@ keeps three layers of state:
 
 * a **local tree** — an :class:`~repro.core.ait.AIT` (or
   :class:`~repro.core.awit.AWIT` for weighted engines) built over the shard's
-  intervals, addressed by *local* ids ``0..m-1``;
+  intervals, addressed by *local* ids ``0..m-1`` (vacated local ids are
+  recycled by the tree's columnar storage, so the map is positional, not
+  append-only);
 * an **id map** between local and engine-global ids (``global_ids[local]``
   and its inverse), so query results can be reported in the engine's id
   space;
@@ -13,13 +15,17 @@ keeps three layers of state:
   :class:`~repro.core.flat.FlatAIT` the batch queries execute on.
 
 Writes never touch the snapshot directly: the engine appends them to the
-delta log (:meth:`Shard.buffer_insert` / :meth:`Shard.buffer_delete`) and the
-log is replayed into the local tree by :meth:`Shard.refresh` — which the
+delta log (:meth:`Shard.buffer_insert` / :meth:`Shard.buffer_delete`, or the
+bulk :meth:`Shard.buffer_insert_many` / :meth:`Shard.buffer_delete_many`) and
+the log is replayed into the local tree by :meth:`Shard.refresh` — which the
 engine calls at *batch boundaries only*, so a snapshot is never replaced
-mid-batch.  Replay uses the paper's pooled-insertion path and flushes the
-pool afterwards, which keeps a refreshed snapshot self-contained (no separate
-pool scan on the batch path) and bumps :attr:`Shard.version` exactly when the
-visible state changed.
+mid-batch.  Replay groups consecutive operations of the same kind and applies
+each run through the tree's vectorised ``insert_many`` / ``delete_many``
+bulk APIs, so a long delta log costs one deferred re-sort per touched list
+instead of one Python round-trip per op; the re-snapshot that follows is
+*incremental* whenever the tree's dirty-node journal allows it (see
+``AIT.flat``), and bumps :attr:`Shard.version` exactly when the visible
+state changed.
 """
 
 from __future__ import annotations
@@ -35,9 +41,13 @@ from ..core.flat import FlatAIT
 
 __all__ = ["Shard", "DeltaOp"]
 
-#: One buffered write: ``("insert", global_id, left, right)`` or
-#: ``("delete", global_id)``.
-DeltaOp = Union[tuple[str, int, float, float], tuple[str, int]]
+#: One buffered write batch: ``("insert_many", global_ids, lefts, rights)``
+#: or ``("delete_many", global_ids)`` carrying whole arrays (scalar writes
+#: buffer as one-element batches).
+DeltaOp = Union[
+    tuple[str, np.ndarray, np.ndarray, np.ndarray],
+    tuple[str, np.ndarray],
+]
 
 
 class Shard:
@@ -97,7 +107,7 @@ class Shard:
     @property
     def pending_ops(self) -> int:
         """Number of buffered writes not yet applied to the snapshot."""
-        return len(self._pending)
+        return sum(int(op[1].shape[0]) for op in self._pending)
 
     @property
     def snapshot(self) -> FlatAIT:
@@ -115,36 +125,83 @@ class Shard:
             return local_ids
         return self._global_map[local_ids]
 
-    def _append_global_id(self, global_id: int, local_id: int) -> None:
-        """Record a freshly applied insert in the id maps (amortised growth)."""
-        if self._id_count == self._global_ids.shape[0]:
-            grow = max(16, self._global_ids.shape[0] // 2)
+    def _record_global_ids(self, global_ids: np.ndarray, local_ids: np.ndarray) -> None:
+        """Record freshly applied inserts in the id maps.
+
+        Local ids are *positions*, not an append-only sequence — the tree
+        recycles vacated slots — so each mapping lands at its local id,
+        overwriting whatever dead mapping held the slot before.
+        """
+        if local_ids.shape[0] == 0:
+            return
+        top = int(local_ids.max()) + 1
+        if top > self._global_ids.shape[0]:
+            grow = max(16, top - self._global_ids.shape[0], self._global_ids.shape[0] // 2)
             self._global_ids = np.concatenate(
                 (self._global_ids, np.empty(grow, dtype=np.int64))
             )
-        self._global_ids[self._id_count] = global_id
-        self._id_count += 1
         if self._local_of is not None:
-            self._local_of[int(global_id)] = int(local_id)
+            recycled = local_ids[local_ids < self._id_count]
+            for local in recycled.tolist():
+                self._local_of.pop(int(self._global_ids[local]), None)
+        self._global_ids[local_ids] = global_ids
+        self._id_count = max(self._id_count, top)
+        if self._local_of is not None:
+            for global_id, local in zip(global_ids.tolist(), local_ids.tolist()):
+                self._local_of[int(global_id)] = int(local)
 
-    def _local_id_of(self, global_id: int) -> int:
-        """Shard-local id owning ``global_id`` (builds the inverse map on demand)."""
+    def _local_ids_of(self, global_ids: np.ndarray) -> np.ndarray:
+        """Shard-local ids owning ``global_ids`` (builds the inverse map on demand)."""
         if self._local_of is None:
             self._local_of = {
                 int(g): i for i, g in enumerate(self._global_ids[: self._id_count])
             }
-        return self._local_of[int(global_id)]
+        lookup = self._local_of
+        return np.asarray([lookup[int(g)] for g in global_ids], dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # delta log
     # ------------------------------------------------------------------ #
     def buffer_insert(self, global_id: int, left: float, right: float) -> None:
-        """Append an insertion to the delta log (visible after the next refresh)."""
-        self._pending.append(("insert", int(global_id), float(left), float(right)))
+        """Append one insertion to the delta log (a one-element bulk entry)."""
+        self.buffer_insert_many(
+            np.asarray([global_id], dtype=np.int64),
+            np.asarray([left], dtype=np.float64),
+            np.asarray([right], dtype=np.float64),
+        )
 
     def buffer_delete(self, global_id: int) -> None:
-        """Append a deletion to the delta log (visible after the next refresh)."""
-        self._pending.append(("delete", int(global_id)))
+        """Append one deletion to the delta log (a one-element bulk entry)."""
+        self.buffer_delete_many(np.asarray([global_id], dtype=np.int64))
+
+    def buffer_insert_many(
+        self, global_ids: np.ndarray, lefts: np.ndarray, rights: np.ndarray
+    ) -> None:
+        """Append a whole insertion batch to the delta log as one bulk op."""
+        if global_ids.shape[0]:
+            self._pending.append(
+                (
+                    "insert_many",
+                    np.asarray(global_ids, dtype=np.int64),
+                    np.asarray(lefts, dtype=np.float64),
+                    np.asarray(rights, dtype=np.float64),
+                )
+            )
+
+    def buffer_delete_many(self, global_ids: np.ndarray) -> None:
+        """Append a whole deletion batch to the delta log as one bulk op."""
+        if global_ids.shape[0]:
+            self._pending.append(("delete_many", np.asarray(global_ids, dtype=np.int64)))
+
+    def _replay_insert_run(
+        self, global_ids: list[np.ndarray], lefts: list[np.ndarray], rights: list[np.ndarray]
+    ) -> None:
+        gids = np.concatenate(global_ids)
+        local_ids = self.tree.insert_many(np.concatenate(lefts), np.concatenate(rights))
+        self._record_global_ids(gids, local_ids)
+
+    def _replay_delete_run(self, global_ids: list[np.ndarray]) -> None:
+        self.tree.delete_many(self._local_ids_of(np.concatenate(global_ids)))
 
     def refresh(self) -> bool:
         """Replay the delta log into the tree and re-snapshot if anything changed.
@@ -152,15 +209,42 @@ class Shard:
         Returns True when a new snapshot version was produced.  The engine
         calls this at the start of every batch — never while a batch is
         executing — so within one scatter-gather round every shard serves one
-        consistent snapshot.
+        consistent snapshot.  Consecutive operations of the same kind are
+        replayed through the tree's bulk ``insert_many`` / ``delete_many``
+        APIs (one deferred re-sort per touched list per run), and the
+        re-snapshot uses the incremental dirty-node refresh path whenever
+        the tree's journal allows it.
         """
+        run_kind: Optional[str] = None
+        run_gids: list[np.ndarray] = []
+        run_lefts: list[np.ndarray] = []
+        run_rights: list[np.ndarray] = []
+
+        def flush_run() -> None:
+            nonlocal run_kind
+            if run_kind == "insert":
+                self._replay_insert_run(run_gids, run_lefts, run_rights)
+            elif run_kind == "delete":
+                self._replay_delete_run(run_gids)
+            run_kind = None
+            run_gids.clear()
+            run_lefts.clear()
+            run_rights.clear()
+
         for op in self._pending:
-            if op[0] == "insert":
-                _, global_id, left, right = op
-                local_id = self.tree.insert((left, right))
-                self._append_global_id(global_id, local_id)
+            kind = "insert" if op[0] == "insert_many" else "delete"
+            if kind != run_kind:
+                flush_run()
+                run_kind = kind
+            if kind == "insert":
+                _, gids, lefts, rights = op
+                run_gids.append(gids)
+                run_lefts.append(lefts)
+                run_rights.append(rights)
             else:
-                self.tree.delete(self._local_id_of(op[1]))
+                run_gids.append(op[1])
+        flush_run()
+
         applied = bool(self._pending)
         self._pending = []
         if applied:

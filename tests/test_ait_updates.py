@@ -225,25 +225,26 @@ class TestRebuildAndWeightedRestrictions:
         dataset = make_random_dataset(n=200, seed=20)
         tree = AIT(dataset)
         rng = np.random.default_rng(3)
-        lefts = list(dataset.lefts)
-        rights = list(dataset.rights)
-        alive = set(range(len(dataset)))
+        # Oracle keyed by id: vacated ids are recycled by later insertions,
+        # so the id space is not append-only.
+        alive = {
+            i: (float(dataset.lefts[i]), float(dataset.rights[i]))
+            for i in range(len(dataset))
+        }
         for step in range(150):
             if rng.random() < 0.5 and alive:
                 victim = int(rng.choice(sorted(alive)))
                 tree.delete(victim)
-                alive.discard(victim)
+                del alive[victim]
             else:
                 left = float(rng.uniform(0, 1000))
                 right = left + float(rng.exponential(25))
                 new_id = tree.insert((left, right), immediate=(step % 2 == 0))
-                lefts.append(left)
-                rights.append(right)
-                alive.add(new_id)
+                alive[new_id] = (left, right)
         query = make_queries(dataset, count=1, extent=0.2)[0]
         expected = {
-            i for i in alive
-            if lefts[i] <= query[1] and query[0] <= rights[i]
+            i for i, (left, right) in alive.items()
+            if left <= query[1] and query[0] <= right
         }
         assert set(tree.report(query).tolist()) == expected
         if expected:

@@ -25,7 +25,7 @@ PAPER_IDS = {
 }
 
 #: Repo-specific experiments registered alongside the paper's tables/figures.
-EXTRA_IDS = {"throughput", "service_throughput"}
+EXTRA_IDS = {"throughput", "service_throughput", "update_throughput"}
 
 EXPECTED_IDS = PAPER_IDS | EXTRA_IDS
 
@@ -56,6 +56,16 @@ class TestRegistry:
         assert 0 in shard_counts and len(shard_counts) >= 2  # baseline + sweep
         assert {row["executor"] for row in result.rows} >= {"none", "serial", "threads"}
         assert all(row["qps"] > 0 for row in result.rows)
+
+    def test_update_throughput_experiment_runs_end_to_end(self):
+        result = run_experiment("update_throughput", TINY)
+        assert result.experiment_id == "update_throughput"
+        ratios = {row["write_ratio"] for row in result.rows}
+        assert 0.0 in ratios and len(ratios) >= 2  # read-only baseline + sweep
+        assert {row["shards"] for row in result.rows} >= {1, 2}
+        assert all(row["reads_per_sec"] > 0 for row in result.rows)
+        read_only = [row for row in result.rows if row["write_ratio"] == 0.0]
+        assert all(row["writes_per_sec"] == 0.0 for row in read_only)
 
     def test_update_experiment_shows_batch_speedup(self):
         result = run_experiment("table7", TINY)

@@ -369,3 +369,82 @@ class TestExecutors:
         assert "shards=4" in repr(engine)
         with pytest.raises(KeyError):
             engine.shard_of(-1)
+
+
+# ---------------------------------------------------------------------- #
+# bulk write path: insert_many / delete_many + incremental shard refresh
+# ---------------------------------------------------------------------- #
+class TestBulkWrites:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_bulk_ops_match_scalar_loop(self, dataset, queries, policy):
+        bulk = ShardedEngine(dataset, num_shards=4, policy=policy)
+        scalar = ShardedEngine(dataset, num_shards=4, policy=policy)
+        rng = np.random.default_rng(51)
+        lefts = rng.uniform(0.0, 1000.0, 60)
+        rights = lefts + rng.exponential(25.0, 60)
+        bulk_ids = bulk.insert_many(lefts, rights)
+        scalar_ids = [scalar.insert((l, r)) for l, r in zip(lefts, rights)]
+        assert bulk_ids.tolist() == scalar_ids
+        victims = rng.choice(len(dataset) + 60, size=80, replace=True).tolist()
+        bulk_flags = bulk.delete_many(victims)
+        scalar_flags = [scalar.delete(v) for v in victims]
+        assert bulk_flags.tolist() == scalar_flags
+        assert bulk.size == scalar.size
+        assert np.array_equal(bulk.count_many(queries), scalar.count_many(queries))
+        for mine, theirs in zip(bulk.report_many(queries), scalar.report_many(queries)):
+            assert set(mine.tolist()) == set(theirs.tolist())
+
+    def test_bulk_insert_validation(self, dataset):
+        engine = ShardedEngine(dataset, num_shards=2)
+        size = engine.size
+        with pytest.raises(InvalidIntervalError):
+            engine.insert_many([0.0, 5.0], [1.0, 4.0])
+        with pytest.raises(InvalidIntervalError):
+            engine.insert_many([0.0], [1.0, 2.0])
+        assert engine.size == size
+        assert engine.insert_many([], []).shape == (0,)
+
+    def test_weighted_engine_rejects_bulk_writes(self, weighted_dataset):
+        engine = ShardedEngine(weighted_dataset, num_shards=2)
+        with pytest.raises(StructureStateError):
+            engine.insert_many([0.0], [1.0])
+        with pytest.raises(StructureStateError):
+            engine.delete_many([0])
+
+    def test_refresh_replays_delta_log_without_full_snapshot_rebuild(
+        self, make_random_dataset
+    ):
+        """A bounded delta log patches shard snapshots incrementally."""
+        dataset = make_random_dataset(n=4000, seed=52)
+        engine = ShardedEngine(dataset, num_shards=2)
+        engine.refresh()
+        full_builds_before = [s.tree.snapshot_full_builds for s in engine.shards]
+        rng = np.random.default_rng(53)
+        lefts = rng.uniform(0.0, 1000.0, 40)
+        rights = lefts + rng.exponential(20.0, 40)
+        engine.insert_many(lefts, rights)
+        engine.delete_many(rng.choice(4000, size=30, replace=False))
+        assert engine.pending_ops() > 0
+        engine.refresh()
+        assert engine.pending_ops() == 0
+        full_builds_after = [s.tree.snapshot_full_builds for s in engine.shards]
+        assert full_builds_after == full_builds_before  # no full re-flatten
+        assert all(
+            s.tree.snapshot_incremental_refreshes >= 1 for s in engine.shards
+        )
+
+    def test_mixed_bulk_and_scalar_log_replay(self, make_random_dataset, make_queries):
+        """Interleaved scalar and bulk ops replay in log order at refresh."""
+        dataset = make_random_dataset(n=500, seed=54)
+        engine = ShardedEngine(dataset, num_shards=3)
+        first = engine.insert((10.0, 20.0))
+        batch = engine.insert_many([30.0, 40.0], [35.0, 45.0])
+        assert engine.delete(first)
+        assert engine.delete_many([int(batch[0])]).tolist() == [True]
+        last = engine.insert((50.0, 60.0))
+        engine.refresh()
+        survivors = {int(batch[1]), last}
+        reported = set(engine.report((0.0, 100.0)).tolist())
+        assert survivors <= reported
+        assert first not in reported and int(batch[0]) not in reported
+        assert engine.size == len(dataset) + 4 - 2
