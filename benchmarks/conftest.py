@@ -13,11 +13,43 @@ the same harness scales up via ``repro-experiments --preset default|paper``.
 from __future__ import annotations
 
 import pytest
+from _pytest.runner import runtestprotocol
 
 from repro import AIT, AITV, AWIT
 from repro.baselines import HINT, KDS, IntervalTree, KDTreeIndex
 from repro.datasets import generate_queries
 from repro.experiments import ExperimentConfig, build_dataset
+
+#: Extra attempts granted to a failing ``timing``-marked test before its
+#: failure is reported.  Timing-shape assertions (growth curves, "A faster
+#: than B") are qualitative, but one scheduler stall on a loaded machine can
+#: invert any single measurement; an independent re-measurement is the
+#: correct response, not a wider tolerance that would also mask real
+#: regressions.  See ROADMAP.md ("rerun in isolation before treating a
+#: failure as real") — this hook automates exactly that advice.
+TIMING_RERUNS = 2
+
+
+def pytest_runtest_protocol(item, nextitem):
+    """Re-run ``timing``-marked tests on call failure, up to TIMING_RERUNS times."""
+    if item.get_closest_marker("timing") is None:
+        return None  # default protocol
+    for attempt in range(TIMING_RERUNS + 1):
+        item.ihook.pytest_runtest_logstart(nodeid=item.nodeid, location=item.location)
+        reports = runtestprotocol(item, nextitem=nextitem, log=False)
+        call_failed = any(report.when == "call" and report.failed for report in reports)
+        if not call_failed or attempt == TIMING_RERUNS:
+            for report in reports:
+                item.ihook.pytest_runtest_logreport(report=report)
+            item.ihook.pytest_runtest_logfinish(nodeid=item.nodeid, location=item.location)
+            return True
+        item.ihook.pytest_runtest_logfinish(nodeid=item.nodeid, location=item.location)
+        print(
+            f"\n[timing] {item.nodeid} failed its wall-clock assertion "
+            f"(attempt {attempt + 1}/{TIMING_RERUNS + 1}); re-measuring ..."
+        )
+    return True
+
 
 #: Benchmark-scale configuration shared by every benchmark module.
 BENCH_CONFIG = ExperimentConfig.smoke().with_overrides(

@@ -9,7 +9,6 @@ members often do not overlap the query, inflating the rejection rate.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import AITV
 from repro.datasets import generate_queries

@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+import pytest
+
+# Wall-clock-shape assertions: excluded from the CI tier-1 job and
+# auto-rerun on failure (see benchmarks/conftest.py) because a loaded
+# runner can invert any timing comparison.
+pytestmark = pytest.mark.timing
+
 from bench_utils import print_result, series_flat, series_grows
 from repro.experiments import run_experiment
 

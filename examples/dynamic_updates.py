@@ -46,7 +46,7 @@ def main() -> None:
     index.flush_pool()
     pooled_ms = (time.perf_counter() - start) / NEW_RESERVATIONS * 1e3
 
-    print(f"\namortized insertion cost per reservation:")
+    print("\namortized insertion cost per reservation:")
     print(f"  one-by-one: {immediate_ms:.3f} ms")
     print(f"  pooled:     {pooled_ms:.3f} ms  "
           f"({immediate_ms / max(pooled_ms, 1e-9):.1f}x faster)")

@@ -1,0 +1,285 @@
+#!/usr/bin/env python
+"""Bench-regression gate: schema-validate BENCH_*.json and compare runs.
+
+Usage::
+
+    python scripts/check_bench.py validate [FILES...]
+    python scripts/check_bench.py compare --baseline BENCH_x.json --candidate /tmp/bench_x.json
+    python scripts/check_bench.py compare-all --candidate-dir /tmp [--tolerance 10]
+
+``validate`` checks every committed benchmark payload (all ``BENCH_*.json``
+at the repo root by default) against the schema its emitting script commits
+to — top-level shape, required row fields, non-empty sections.  A bench
+script that drifts its payload shape fails CI here instead of silently
+rotting the committed baselines.
+
+``compare`` guards against *order-of-magnitude* performance regressions
+without flaking on CI noise.  Raw throughput numbers are not comparable
+between a laptop full-scale run and a CI smoke run at tiny sizes, so the
+comparison only looks at **dimensionless indicators** — speedup ratios that
+measure a *design property* rather than the hardware:
+
+* ``BENCH_throughput.json`` — batch-vs-scalar speedup per operation;
+* ``BENCH_service.json``    — sharded-vs-unsharded throughput ratio per operation;
+* ``BENCH_updates.json``    — bulk-insert speedup over the scalar loop, and
+  the hard invariant that a small delta log never triggers a full re-flatten;
+* ``BENCH_gateway.json``    — the gateway's p95 latency advantage over scalar
+  dispatch for ``sample`` traffic at the peak client count (the ``count``
+  indicator is reported but not gated: at smoke scale a count call is so
+  cheap that the coalescing window dominates, which is expected, not a
+  regression).
+
+A candidate fails only when an indicator falls below ``baseline /
+tolerance`` (default tolerance 10x — generous by design; the gate exists to
+catch "the vectorised path silently stopped batching", not a 30% wobble).
+Indicators present in the baseline but absent from the candidate sweep are
+reported and skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required payload shape per benchmark family (keyed by committed basename).
+#: ``sections`` maps section name -> required row fields; a ``None`` section
+#: key means ``results`` is a flat list of rows.
+SCHEMAS: dict[str, dict] = {
+    "BENCH_throughput.json": {
+        "top": {"config", "results"},
+        "rows": {
+            None: {"n", "operation", "scalar_qps", "batch_qps", "speedup"},
+        },
+    },
+    "BENCH_service.json": {
+        "top": {"config", "results"},
+        "rows": {
+            None: {"n", "operation", "shards", "executor", "qps", "vs_unsharded"},
+        },
+    },
+    "BENCH_updates.json": {
+        "top": {"config", "results"},
+        "rows": {
+            "bulk_insert": {"n", "bulk_seconds", "scalar_seconds", "speedup"},
+            "refresh": {
+                "n",
+                "ops",
+                "full_builds_delta",
+                "incremental_refreshes_delta",
+                "refresh_seconds",
+                "full_rebuild_seconds",
+            },
+            "mixed": {"n", "shards", "write_ratio", "reads_per_sec", "ops_per_sec"},
+        },
+    },
+    "BENCH_gateway.json": {
+        "top": {"config", "results", "summary"},
+        "rows": {
+            None: {
+                "n",
+                "operation",
+                "mode",
+                "clients",
+                "window_ms",
+                "requests",
+                "rps",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+            },
+        },
+        "summary_rows": {
+            "n",
+            "operation",
+            "clients",
+            "scalar_p95_ms",
+            "gateway_p95_ms",
+            "p95_speedup",
+        },
+    },
+}
+
+
+def validate_file(path: Path) -> list[str]:
+    """Validate one payload against its family schema; return failure strings."""
+    schema = SCHEMAS.get(path.name)
+    if schema is None:
+        return [f"{path.name}: no schema registered (add it to scripts/check_bench.py)"]
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable payload ({exc})"]
+
+    failures: list[str] = []
+    if set(payload) != schema["top"]:
+        failures.append(
+            f"{path.name}: top-level keys {sorted(payload)} != {sorted(schema['top'])}"
+        )
+        return failures
+
+    for section, required in schema["rows"].items():
+        rows = payload["results"] if section is None else payload["results"].get(section)
+        label = path.name if section is None else f"{path.name}[{section}]"
+        if not isinstance(rows, list) or not rows:
+            failures.append(f"{label}: must carry a non-empty row list")
+            continue
+        for index, row in enumerate(rows):
+            missing = required - set(row)
+            if missing:
+                failures.append(f"{label} row {index}: missing fields {sorted(missing)}")
+                break
+    summary_required = schema.get("summary_rows")
+    if summary_required is not None:
+        rows = payload.get("summary")
+        if not isinstance(rows, list) or not rows:
+            failures.append(f"{path.name}[summary]: must carry a non-empty row list")
+        else:
+            for index, row in enumerate(rows):
+                missing = summary_required - set(row)
+                if missing:
+                    failures.append(
+                        f"{path.name}[summary] row {index}: missing fields {sorted(missing)}"
+                    )
+                    break
+    return failures
+
+
+# --------------------------------------------------------------------- #
+# dimensionless regression indicators
+# --------------------------------------------------------------------- #
+def _throughput_indicators(payload: dict) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for row in payload["results"]:
+        key = f"batch_speedup[{row['operation']}]"
+        out[key] = max(out.get(key, 0.0), float(row["speedup"]))
+    return out
+
+
+def _service_indicators(payload: dict) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for row in payload["results"]:
+        if row["shards"] == 0:
+            continue
+        key = f"vs_unsharded[{row['operation']}]"
+        out[key] = max(out.get(key, 0.0), float(row["vs_unsharded"]))
+    return out
+
+
+def _updates_indicators(payload: dict) -> dict[str, float]:
+    out = {
+        "bulk_insert_speedup": max(
+            float(row["speedup"]) for row in payload["results"]["bulk_insert"]
+        )
+    }
+    # Hard invariant rather than a ratio: a delta log that is small relative
+    # to the shard must refresh incrementally (no full re-flatten).
+    for row in payload["results"]["refresh"]:
+        if row["n"] >= 20 * row["ops"]:
+            out["refresh_incremental"] = 1.0 if row["full_builds_delta"] == 0 else 0.0
+    return out
+
+
+def _gateway_indicators(payload: dict) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for row in payload["summary"]:
+        # Only the sample op gates: micro-batching must keep beating scalar
+        # dispatch on p95 wherever per-request work is non-trivial.
+        if row["operation"] == "sample":
+            key = "gateway_p95_speedup[sample]"
+            out[key] = max(out.get(key, 0.0), float(row["p95_speedup"]))
+    return out
+
+
+INDICATORS = {
+    "BENCH_throughput.json": _throughput_indicators,
+    "BENCH_service.json": _service_indicators,
+    "BENCH_updates.json": _updates_indicators,
+    "BENCH_gateway.json": _gateway_indicators,
+}
+
+
+def compare_files(baseline: Path, candidate: Path, tolerance: float) -> list[str]:
+    """Compare candidate indicators to the baseline's; return failure strings."""
+    family = baseline.name
+    extract = INDICATORS.get(family)
+    if extract is None:
+        return [f"{family}: no indicator extractor registered"]
+    failures: list[str] = []
+    base = extract(json.loads(baseline.read_text()))
+    cand = extract(json.loads(candidate.read_text()))
+    for key in sorted(base):
+        if key not in cand:
+            print(f"  {family} :: {key}: absent from candidate sweep, skipped")
+            continue
+        floor = base[key] / tolerance
+        status = "ok" if cand[key] >= floor else "REGRESSION"
+        print(
+            f"  {family} :: {key}: baseline {base[key]:.3f}, candidate "
+            f"{cand[key]:.3f} (floor {floor:.3f}) -> {status}"
+        )
+        if cand[key] < floor:
+            failures.append(
+                f"{family}: {key} regressed by more than {tolerance:g}x "
+                f"({base[key]:.3f} -> {cand[key]:.3f})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_validate = sub.add_parser("validate", help="schema-validate committed BENCH_*.json")
+    p_validate.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="payloads to validate (default: all BENCH_*.json at the repo root)",
+    )
+
+    p_compare = sub.add_parser("compare", help="compare one candidate run to its baseline")
+    p_compare.add_argument("--baseline", type=Path, required=True)
+    p_compare.add_argument("--candidate", type=Path, required=True)
+    p_compare.add_argument("--tolerance", type=float, default=10.0)
+
+    p_all = sub.add_parser(
+        "compare-all", help="compare every committed baseline to <dir>/bench_<family>.json"
+    )
+    p_all.add_argument("--candidate-dir", type=Path, required=True)
+    p_all.add_argument("--tolerance", type=float, default=10.0)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    if args.command == "validate":
+        files = args.files or sorted(REPO_ROOT.glob("BENCH_*.json"))
+        if not files:
+            failures.append("no BENCH_*.json files found to validate")
+        for path in files:
+            file_failures = validate_file(path)
+            failures.extend(file_failures)
+            print(f"schema {'FAILED' if file_failures else 'ok'}: {path.name}")
+    elif args.command == "compare":
+        failures.extend(compare_files(args.baseline, args.candidate, args.tolerance))
+    else:  # compare-all
+        for baseline in sorted(REPO_ROOT.glob("BENCH_*.json")):
+            # BENCH_gateway.json -> bench_gateway.json, the smoke output name.
+            candidate = args.candidate_dir / baseline.name.replace("BENCH_", "bench_").lower()
+            if not candidate.exists():
+                print(f"  {baseline.name}: no candidate at {candidate}, skipped")
+                continue
+            failures.extend(compare_files(baseline, candidate, args.tolerance))
+
+    if failures:
+        print("\nFAILURES:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

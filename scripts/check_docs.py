@@ -51,6 +51,8 @@ DOCTEST_MODULES: tuple[str, ...] = (
     "repro.service.engine",
     "repro.service.shard",
     "repro.service.executor",
+    "repro.service.gateway",
+    "repro.service.metrics",
 )
 
 #: Markdown files whose links and python snippets are checked.

@@ -39,9 +39,9 @@ from .core import (
     UnsupportedOperationError,
 )
 from .sampling import AliasTable, CumulativeSampler
-from .service import ShardedEngine
+from .service import RequestGateway, ShardedEngine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AIT",
@@ -55,6 +55,7 @@ __all__ = [
     "IntervalDataset",
     "IntervalIndex",
     "SamplingIndex",
+    "RequestGateway",
     "ShardedEngine",
     "ListKind",
     "NodeRecord",

@@ -43,7 +43,7 @@ separately by the ``AIT`` wrappers, exactly like the scalar query path does.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 

@@ -502,7 +502,6 @@ def delete_many(ait: "AIT", interval_ids) -> np.ndarray:
     touched_subtree: dict[int, tuple[AITNode, list[int]]] = {}
     touched_stab: dict[int, tuple[AITNode, list[int]]] = {}
     removed_ids: list[int] = []
-    deepest_path: list[AITNode] = []
     paths: list[list[AITNode]] = []
     for position, interval_id in tree_targets:
         left = float(ait._lefts[interval_id])

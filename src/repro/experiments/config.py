@@ -9,7 +9,7 @@ the patience (and RAM) to run them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 __all__ = ["ExperimentConfig", "DEFAULT_DATASETS"]

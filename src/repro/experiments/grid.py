@@ -12,7 +12,6 @@ from typing import Sequence
 
 from .config import ExperimentConfig
 from .harness import (
-    AlgorithmAdapter,
     QueryTimings,
     build_dataset,
     build_workload,

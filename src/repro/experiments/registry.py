@@ -8,6 +8,7 @@ from typing import Callable
 from .config import ExperimentConfig
 from .report import ExperimentResult
 from . import (
+    exp_gateway_latency,
     exp_service_throughput,
     exp_throughput,
     exp_update_throughput,
@@ -70,6 +71,11 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
         "update_throughput",
         "Mixed read/write throughput vs write ratio and shard count (write path)",
         exp_update_throughput.run,
+    ),
+    "gateway_latency": ExperimentEntry(
+        "gateway_latency",
+        "Request latency under concurrent load: gateway micro-batching vs scalar calls",
+        exp_gateway_latency.run,
     ),
 }
 

@@ -5,18 +5,27 @@ The :mod:`repro.service` subsystem turns the single-snapshot batch engine of
 :class:`ShardedEngine` that partitions the dataset across shards, answers
 batches by scatter-gather with exact (counting/reporting) or
 distribution-identical (sampling) semantics, and absorbs writes through
-per-shard delta logs with versioned snapshot refresh.  See
-``docs/ARCHITECTURE.md`` for the layer map and the sampling-correctness
-argument.
+per-shard delta logs with versioned snapshot refresh; a
+:class:`RequestGateway` that transparently coalesces concurrent single-query
+traffic into the engine's batch API under a tunable micro-batching window;
+and :class:`GatewayMetrics` telemetry (counters, batch-size histogram,
+latency percentiles).  See ``docs/ARCHITECTURE.md`` for the layer map, the
+sampling-correctness argument, and the batch-boundary consistency argument.
 """
 
 from .engine import ShardedEngine
 from .executor import SerialExecutor, ThreadedExecutor, resolve_executor
+from .gateway import RequestGateway
+from .metrics import BatchSizeHistogram, GatewayMetrics, LatencyReservoir
 from .shard import Shard
 
 __all__ = [
     "ShardedEngine",
     "Shard",
+    "RequestGateway",
+    "GatewayMetrics",
+    "BatchSizeHistogram",
+    "LatencyReservoir",
     "SerialExecutor",
     "ThreadedExecutor",
     "resolve_executor",

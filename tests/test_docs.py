@@ -44,10 +44,20 @@ def test_docstring_examples(module_name):
 
 def test_public_api_docstrings_carry_examples():
     """The docstring sweep: key public classes must have runnable examples."""
-    from repro import AIT, AITV, AWIT, FlatAIT, IntervalDataset, ShardedEngine
+    from repro import AIT, AITV, AWIT, FlatAIT, IntervalDataset, RequestGateway, ShardedEngine
     from repro.core.base import IntervalIndex, SamplingIndex
 
-    for cls in (AIT, AITV, AWIT, FlatAIT, IntervalDataset, ShardedEngine, IntervalIndex, SamplingIndex):
+    for cls in (
+        AIT,
+        AITV,
+        AWIT,
+        FlatAIT,
+        IntervalDataset,
+        RequestGateway,
+        ShardedEngine,
+        IntervalIndex,
+        SamplingIndex,
+    ):
         assert cls.__doc__ and ">>>" in cls.__doc__, (
             f"{cls.__name__} lost its runnable docstring example"
         )

@@ -25,7 +25,7 @@ PAPER_IDS = {
 }
 
 #: Repo-specific experiments registered alongside the paper's tables/figures.
-EXTRA_IDS = {"throughput", "service_throughput", "update_throughput"}
+EXTRA_IDS = {"throughput", "service_throughput", "update_throughput", "gateway_latency"}
 
 EXPECTED_IDS = PAPER_IDS | EXTRA_IDS
 
@@ -66,6 +66,22 @@ class TestRegistry:
         assert all(row["reads_per_sec"] > 0 for row in result.rows)
         read_only = [row for row in result.rows if row["write_ratio"] == 0.0]
         assert all(row["writes_per_sec"] == 0.0 for row in read_only)
+
+    def test_gateway_latency_experiment_runs_end_to_end(self):
+        result = run_experiment("gateway_latency", TINY)
+        assert result.experiment_id == "gateway_latency"
+        modes = {row["mode"] for row in result.rows}
+        assert modes == {"scalar", "gateway"}
+        assert {row["operation"] for row in result.rows} == {"count", "sample"}
+        assert len({row["clients"] for row in result.rows}) >= 2
+        assert all(row["requests"] > 0 and row["rps"] > 0 for row in result.rows)
+        # Percentiles must be ordered within every row (p50 <= p95 <= p99).
+        for row in result.rows:
+            assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+        # Gateway rows carry the window they were measured at; scalar rows 0.
+        assert all(
+            row["window_ms"] > 0 for row in result.rows if row["mode"] == "gateway"
+        )
 
     def test_update_experiment_shows_batch_speedup(self):
         result = run_experiment("table7", TINY)

@@ -6,7 +6,6 @@ partition-strategy ablation switch (pair sort vs random bucketing).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import AIT, AITV, AWIT, InvalidQueryError

@@ -1,0 +1,234 @@
+"""Tests for the RequestGateway: correctness, batching semantics, edge cases.
+
+The micro-batching contract under test:
+
+* results are identical to direct engine calls (count/report/total_weight)
+  and distribution-correct for sampling;
+* writes drained into a micro-batch apply before the batch's reads and
+  never split a read group;
+* one request's failure never poisons its batch-mates;
+* shutdown flushes pending futures instead of dropping them.
+
+Deterministic batching tests use a *paused* gateway (``start=False`` +
+``process_pending``) so batch formation does not race the dispatcher;
+concurrency tests use a running gateway with many client threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import AIT, IntervalDataset
+from repro.core.errors import EmptyResultError, InvalidIntervalError, InvalidQueryError
+from repro.service import GatewayMetrics, RequestGateway, ShardedEngine
+
+
+@pytest.fixture
+def dataset() -> IntervalDataset:
+    rng = np.random.default_rng(5)
+    lefts = rng.uniform(0.0, 1000.0, 400)
+    rights = lefts + rng.exponential(25.0, 400)
+    return IntervalDataset(lefts, rights)
+
+
+@pytest.fixture
+def engine(dataset):
+    with ShardedEngine(dataset, num_shards=2) as eng:
+        eng.refresh()
+        yield eng
+
+
+@pytest.fixture
+def oracle(dataset) -> AIT:
+    return AIT(dataset)
+
+
+QUERIES = [(q * 37.0 % 950.0, q * 37.0 % 950.0 + 40.0) for q in range(25)]
+
+
+class TestCorrectness:
+    def test_results_match_direct_engine_calls(self, engine, oracle):
+        with RequestGateway(engine, max_batch_size=8, max_wait_ms=1.0) as gateway:
+            for query in QUERIES:
+                assert gateway.count(query, timeout=10) == oracle.count(query)
+            got = gateway.report(QUERIES[0], timeout=10)
+            assert sorted(got.tolist()) == sorted(oracle.report(QUERIES[0]).tolist())
+            assert gateway.total_weight(QUERIES[0], timeout=10) == pytest.approx(
+                float(oracle.count(QUERIES[0]))
+            )
+
+    def test_sample_draws_come_from_result_set(self, engine, oracle):
+        query = QUERIES[3]
+        member_ids = set(oracle.report(query).tolist())
+        with RequestGateway(engine, max_wait_ms=1.0) as gateway:
+            row = gateway.sample(query, 64, timeout=10)
+        assert len(row) == 64
+        assert set(row.tolist()) <= member_ids
+
+    def test_concurrent_clients_get_correct_answers(self, engine, oracle):
+        expected = {query: oracle.count(query) for query in QUERIES}
+        results: dict[int, list[int]] = {}
+        with RequestGateway(engine, max_batch_size=16, max_wait_ms=2.0) as gateway:
+
+            def client(worker: int) -> None:
+                results[worker] = [gateway.count(query, timeout=30) for query in QUERIES]
+
+            threads = [threading.Thread(target=client, args=(w,)) for w in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = gateway.stats()
+        assert all(values == [expected[q] for q in QUERIES] for values in results.values())
+        # 8 clients x 25 queries should actually coalesce under a 2ms window.
+        assert stats["batches"]["dispatched"] < 8 * len(QUERIES)
+        assert stats["requests"]["count"] == 8 * len(QUERIES)
+
+    def test_writes_become_visible_to_later_reads(self, engine, oracle):
+        probe = (200.0, 210.0)
+        with RequestGateway(engine, max_wait_ms=1.0) as gateway:
+            before = gateway.count(probe, timeout=10)
+            assert before == oracle.count(probe)
+            new_id = gateway.insert((0.0, 999.0), timeout=10)
+            assert gateway.count(probe, timeout=10) == before + 1
+            assert gateway.delete(new_id, timeout=10) is True
+            assert gateway.delete(new_id, timeout=10) is False
+            assert gateway.count(probe, timeout=10) == before
+
+
+class TestBatchingSemantics:
+    def test_zero_in_flight_requests_at_window_expiry(self, engine):
+        """An idle gateway dispatches nothing and stays healthy past its window."""
+        with RequestGateway(engine, max_wait_ms=1.0) as gateway:
+            deadline = threading.Event()
+            deadline.wait(0.05)  # dozens of expired windows with nothing queued
+            assert gateway.is_running
+            assert gateway.stats()["batches"]["dispatched"] == 0
+            # ... and it still serves normally afterwards.
+            assert gateway.count((0.0, 1000.0), timeout=10) > 0
+            assert gateway.stats()["batches"]["dispatched"] == 1
+
+    def test_max_batch_size_one_degenerates_to_scalar_dispatch(self, engine, oracle):
+        gateway = RequestGateway(engine, max_batch_size=1, start=False)
+        futures = [gateway.submit("count", query) for query in QUERIES[:6]]
+        gateway.process_pending()
+        assert [f.result(0) for f in futures] == [oracle.count(q) for q in QUERIES[:6]]
+        histogram = gateway.stats()["batches"]["size_histogram"]
+        assert histogram == {"1": 6}  # every dispatch was a singleton batch
+        gateway.close()
+
+    def test_writes_never_split_a_read_micro_batch(self, engine, oracle):
+        """Interleaved writes coalesce with reads: one batch, one read group."""
+        probe = (100.0, 150.0)
+        before = oracle.count(probe)
+        gateway = RequestGateway(engine, max_batch_size=64, start=False)
+        read_1 = gateway.submit("count", probe)
+        gateway.submit("insert", (0.0, 1000.0))
+        read_2 = gateway.submit("count", probe)
+        gateway.submit("insert", (0.0, 1000.0))
+        read_3 = gateway.submit("count", probe)
+        gateway.process_pending()
+
+        # All five requests were dispatched as ONE micro-batch ...
+        stats = gateway.stats()
+        assert stats["batches"]["dispatched"] == 1
+        assert stats["batches"]["size_histogram"] == {"5-8": 1}
+        # ... so every read observed the same snapshot: both writes applied
+        # at the batch boundary, regardless of arrival interleaving.
+        assert read_1.result(0) == read_2.result(0) == read_3.result(0) == before + 2
+        gateway.close()
+
+    def test_exception_in_one_request_does_not_poison_batch_mates(self, engine):
+        """A raising sample request fails alone; same-group mates still succeed."""
+        empty_query = (5000.0, 5001.0)  # beyond the domain: q ∩ X = ∅
+        live_query = (0.0, 1000.0)
+        gateway = RequestGateway(engine, max_batch_size=64, start=False)
+        good_1 = gateway.submit("sample", live_query, 8, on_empty="raise")
+        bad = gateway.submit("sample", empty_query, 8, on_empty="raise")
+        good_2 = gateway.submit("sample", live_query, 8, on_empty="raise")
+        gateway.process_pending()
+
+        assert len(good_1.result(0)) == 8
+        assert len(good_2.result(0)) == 8
+        with pytest.raises(EmptyResultError):
+            bad.result(0)
+        stats = gateway.stats()
+        assert stats["batches"]["fallbacks"] == 1
+        assert stats["errors"] == {"sample": 1}
+        gateway.close()
+
+    def test_clean_shutdown_completes_pending_futures(self, engine, oracle):
+        expected = oracle.count(QUERIES[0])
+        with RequestGateway(engine, max_batch_size=4, max_wait_ms=50.0) as gateway:
+            futures = [gateway.submit("count", QUERIES[0]) for _ in range(50)]
+        # close() (via __exit__) must flush, not cancel: every future done.
+        assert all(future.done() for future in futures)
+        assert [future.result(0) for future in futures] == [expected] * 50
+        with pytest.raises(RuntimeError):
+            gateway.submit("count", QUERIES[0])
+
+    def test_cancelled_future_is_skipped_without_breaking_the_batch(self, engine, oracle):
+        gateway = RequestGateway(engine, max_batch_size=64, start=False)
+        cancelled = gateway.submit("count", QUERIES[0])
+        kept = gateway.submit("count", QUERIES[1])
+        assert cancelled.cancel()
+        gateway.process_pending()
+        assert kept.result(0) == oracle.count(QUERIES[1])
+        assert cancelled.cancelled()
+        gateway.close()
+
+
+class TestValidationAndLifecycle:
+    def test_malformed_requests_fail_at_submit_time(self, engine):
+        with RequestGateway(engine, max_wait_ms=1.0) as gateway:
+            with pytest.raises((InvalidQueryError, InvalidIntervalError)):
+                gateway.submit("count", (10.0, 2.0))  # left > right
+            with pytest.raises((InvalidQueryError, InvalidIntervalError)):
+                gateway.submit("insert", (float("nan"), 1.0))
+            with pytest.raises(InvalidQueryError):
+                gateway.submit("sample", (0.0, 1.0), -3)
+            with pytest.raises(ValueError):
+                gateway.submit("increment", (0.0, 1.0))
+            with pytest.raises(ValueError):
+                gateway.submit("sample", (0.0, 1.0), 4, on_empty="explode")
+            # The gateway still works after rejecting garbage.
+            assert gateway.count((0.0, 1000.0), timeout=10) > 0
+
+    def test_constructor_validation(self, engine):
+        with pytest.raises(ValueError):
+            RequestGateway(engine, max_batch_size=0)
+        with pytest.raises(ValueError):
+            RequestGateway(engine, max_wait_ms=-1.0)
+
+    def test_process_pending_requires_paused_gateway(self, engine):
+        with RequestGateway(engine, max_wait_ms=1.0) as gateway:
+            with pytest.raises(RuntimeError):
+                gateway.process_pending()
+
+    def test_close_is_idempotent(self, engine):
+        gateway = RequestGateway(engine, max_wait_ms=1.0)
+        gateway.close()
+        gateway.close()
+        assert not gateway.is_running
+
+    def test_external_metrics_object_is_used(self, engine):
+        metrics = GatewayMetrics()
+        with RequestGateway(engine, max_wait_ms=1.0, metrics=metrics) as gateway:
+            gateway.count((0.0, 1000.0), timeout=10)
+        assert metrics.snapshot()["requests"] == {"count": 1}
+
+    def test_stats_shape(self, engine):
+        with RequestGateway(engine, max_wait_ms=1.0) as gateway:
+            gateway.count((0.0, 500.0), timeout=10)
+            gateway.sample((0.0, 500.0), 4, timeout=10)
+            stats = gateway.stats()
+        assert set(stats) == {"requests", "completions", "errors", "batches", "latency_ms"}
+        assert stats["completions"] == {"count": 1, "sample": 1}
+        for op in ("count", "sample"):
+            summary = stats["latency_ms"][op]
+            assert summary["count"] == 1
+            assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+            assert summary["max_ms"] > 0

@@ -1,0 +1,123 @@
+"""Tests for the serving-layer telemetry primitives (repro.service.metrics)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.metrics import BatchSizeHistogram, GatewayMetrics, LatencyReservoir
+
+
+class TestLatencyReservoir:
+    def test_exact_percentiles_below_capacity(self):
+        reservoir = LatencyReservoir(capacity=1000)
+        values = np.arange(1, 501) / 1000.0  # 1ms .. 500ms, fully retained
+        for value in values:
+            reservoir.record(value)
+        assert reservoir.count == 500
+        for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert reservoir.percentile(q) == pytest.approx(
+                float(np.percentile(values, q, method="inverted_cdf")), rel=0.01
+            )
+
+    def test_reservoir_downsampling_tracks_the_stream(self):
+        reservoir = LatencyReservoir(capacity=512, seed=7)
+        rng = np.random.default_rng(3)
+        stream = rng.uniform(0.0, 1.0, 20_000)
+        for value in stream:
+            reservoir.record(value)
+        assert reservoir.count == 20_000
+        # Uniform[0,1]: the sampled p50/p95 must land near the true quantiles.
+        assert reservoir.percentile(50.0) == pytest.approx(0.5, abs=0.08)
+        assert reservoir.percentile(95.0) == pytest.approx(0.95, abs=0.05)
+
+    def test_snapshot_reports_milliseconds(self):
+        reservoir = LatencyReservoir()
+        reservoir.record(0.004)
+        reservoir.record(0.006)
+        summary = reservoir.snapshot_ms()
+        assert summary["count"] == 2
+        assert summary["mean_ms"] == pytest.approx(5.0)
+        assert summary["max_ms"] == pytest.approx(6.0)
+        assert summary["p50_ms"] == pytest.approx(4.0)
+
+    def test_empty_reservoir(self):
+        reservoir = LatencyReservoir()
+        assert reservoir.percentile(95.0) == 0.0
+        assert reservoir.snapshot_ms()["count"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=0)
+        with pytest.raises(ValueError):
+            LatencyReservoir().percentile(101.0)
+
+
+class TestBatchSizeHistogram:
+    def test_power_of_two_bucketing(self):
+        histogram = BatchSizeHistogram()
+        for size in (1, 2, 3, 4, 5, 8, 9, 16, 17):
+            histogram.record(size)
+        assert histogram.snapshot() == {
+            "1": 1,
+            "2": 1,
+            "3-4": 2,
+            "5-8": 2,
+            "9-16": 2,
+            "17-32": 1,
+        }
+
+    def test_mean_and_validation(self):
+        histogram = BatchSizeHistogram()
+        assert histogram.mean() == 0.0
+        histogram.record(10)
+        histogram.record(20)
+        assert histogram.mean() == pytest.approx(15.0)
+        with pytest.raises(ValueError):
+            histogram.record(0)
+
+
+class TestGatewayMetrics:
+    def test_snapshot_aggregates_everything(self):
+        metrics = GatewayMetrics()
+        for _ in range(3):
+            metrics.record_request("count")
+        metrics.record_request("sample")
+        metrics.record_batch(size=4, groups=2)
+        metrics.record_fallback()
+        metrics.record_completion("count", 0.001)
+        metrics.record_completion("count", 0.003)
+        metrics.record_completion("sample", 0.010, error=True)
+        stats = metrics.snapshot()
+        assert stats["requests"] == {"count": 3, "sample": 1}
+        assert stats["completions"] == {"count": 2, "sample": 1}
+        assert stats["errors"] == {"sample": 1}
+        assert stats["batches"]["dispatched"] == 1
+        assert stats["batches"]["mean_size"] == 4.0
+        assert stats["batches"]["dispatch_groups"] == 2
+        assert stats["batches"]["fallbacks"] == 1
+        assert stats["latency_ms"]["count"]["count"] == 2
+        assert stats["latency_ms"]["count"]["max_ms"] == pytest.approx(3.0)
+
+    def test_thread_safety_under_concurrent_recording(self):
+        metrics = GatewayMetrics()
+
+        def hammer(op: str) -> None:
+            for _ in range(2_000):
+                metrics.record_request(op)
+                metrics.record_completion(op, 0.001)
+
+        threads = [
+            threading.Thread(target=hammer, args=(op,))
+            for op in ("count", "count", "sample", "report")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = metrics.snapshot()
+        assert stats["requests"] == {"count": 4_000, "report": 2_000, "sample": 2_000}
+        assert stats["completions"] == stats["requests"]
+        assert stats["latency_ms"]["count"]["count"] == 4_000
