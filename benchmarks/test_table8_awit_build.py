@@ -18,4 +18,4 @@ def test_table8_awit_build(benchmark, bench_config, bench_weighted_dataset):
         assert build_row[dataset_name] > 0.0
         assert memory_row[dataset_name] > 0.0
 
-    benchmark(lambda: AWIT(bench_weighted_dataset))
+    benchmark(lambda: AWIT(bench_weighted_dataset, build_backend="tree"))

@@ -27,7 +27,10 @@ measure a *design property* rather than the hardware:
   dispatch for ``sample`` traffic at the peak client count (the ``count``
   indicator is reported but not gated: at smoke scale a count call is so
   cheap that the coalescing window dominates, which is expected, not a
-  regression).
+  regression);
+* ``BENCH_build.json``      — the treeless columnar builder's speedup over the
+  tree-walk full build, and the hard invariant that both builders emit
+  bit-identical snapshot arrays.
 
 A candidate fails only when an indicator falls below ``baseline /
 tolerance`` (default tolerance 10x — generous by design; the gate exists to
@@ -73,6 +76,21 @@ SCHEMAS: dict[str, dict] = {
                 "full_rebuild_seconds",
             },
             "mixed": {"n", "shards", "write_ratio", "reads_per_sec", "ops_per_sec"},
+        },
+    },
+    "BENCH_build.json": {
+        "top": {"config", "results"},
+        "rows": {
+            "full_build": {
+                "dataset",
+                "n",
+                "tree_seconds",
+                "columnar_seconds",
+                "speedup",
+                "arrays_equal",
+            },
+            "weighted_build": {"n", "tree_seconds", "columnar_seconds", "speedup"},
+            "engine_build": {"n", "shards", "tree_seconds", "columnar_seconds", "speedup"},
         },
     },
     "BENCH_gateway.json": {
@@ -182,6 +200,23 @@ def _updates_indicators(payload: dict) -> dict[str, float]:
     return out
 
 
+def _build_indicators(payload: dict) -> dict[str, float]:
+    out = {
+        "columnar_build_speedup": max(
+            float(row["speedup"]) for row in payload["results"]["full_build"]
+        ),
+        # Hard invariant rather than a ratio: the two build routes must stay
+        # bit-identical on every measured cell.
+        "builders_bit_identical": 1.0
+        if all(bool(row["arrays_equal"]) for row in payload["results"]["full_build"])
+        else 0.0,
+    }
+    weighted = payload["results"].get("weighted_build") or []
+    if weighted:
+        out["columnar_weighted_speedup"] = max(float(row["speedup"]) for row in weighted)
+    return out
+
+
 def _gateway_indicators(payload: dict) -> dict[str, float]:
     out: dict[str, float] = {}
     for row in payload["summary"]:
@@ -198,6 +233,7 @@ INDICATORS = {
     "BENCH_service.json": _service_indicators,
     "BENCH_updates.json": _updates_indicators,
     "BENCH_gateway.json": _gateway_indicators,
+    "BENCH_build.json": _build_indicators,
 }
 
 

@@ -41,7 +41,7 @@ from .core import (
 from .sampling import AliasTable, CumulativeSampler
 from .service import RequestGateway, ShardedEngine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AIT",

@@ -30,7 +30,6 @@ from ..sampling.cumulative import range_weight
 from ..sampling.rng import RandomState, resolve_rng
 from .base import OnEmpty, SamplingIndex
 from .dataset import IntervalDataset
-from .errors import StructureStateError
 from .flat import FlatAIT
 from .interval import Interval
 from .node import AITNode
@@ -56,6 +55,19 @@ class AIT(SamplingIndex):
     batch_pool_size:
         Capacity of the pooled-insertion buffer.  ``None`` (default) uses the
         paper's ``O(log^2 n)`` rule.
+    build_backend:
+        How full :class:`~repro.core.flat.FlatAIT` snapshots are built and
+        when the Python node tree is materialised.  ``"columnar"`` (default)
+        defers the node tree: construction only copies the endpoint columns,
+        and the first snapshot is built *treelessly* by
+        :meth:`FlatAIT.from_arrays` — the node tree is materialised lazily
+        the first time a tree-dependent API (scalar record collection,
+        updates, structural introspection) needs it, producing exactly the
+        structure an eager build would have.  ``"tree"`` keeps the legacy
+        eager build: nodes are materialised in the constructor and snapshots
+        always serialise them via :meth:`FlatAIT.from_tree` (the equivalence
+        oracle for the columnar path).  Either way, incremental snapshot
+        refreshes after updates run through the dirty-node journal.
 
     Examples
     --------
@@ -76,8 +88,16 @@ class AIT(SamplingIndex):
         weighted: bool = False,
         batch_pool_size: Optional[int] = None,
         snapshot_dirty_threshold: float = 0.5,
+        build_backend: str = "columnar",
     ) -> None:
         super().__init__(dataset)
+        if build_backend not in ("tree", "columnar"):
+            raise ValueError(
+                f"build_backend must be 'tree' or 'columnar', got {build_backend!r}"
+            )
+        self._build_backend = build_backend
+        self._tree_deferred = False
+        self._built_version = 0
         # Columnar storage with amortised capacity-doubling growth: the
         # capacity arrays (`_col_*`) may be longer than the logical column
         # length (`_col_len`); `_lefts` / `_rights` / `_weights` expose the
@@ -164,21 +184,50 @@ class AIT(SamplingIndex):
     # construction
     # ------------------------------------------------------------------ #
     def _rebuild(self) -> None:
-        """(Re)build the tree from the currently active intervals."""
+        """(Re)build the tree from the currently active intervals.
+
+        With the ``"columnar"`` backend the node tree is *not* materialised
+        here: the rebuild is recorded logically (version counters, journal
+        reset) and :meth:`_ensure_tree` constructs the identical node graph
+        on first use, while snapshots build straight from the endpoint
+        columns via :meth:`FlatAIT.from_arrays`.
+        """
         self._journal.clear()
         self._journal_full = True
         # The cached snapshot can never seed an incremental refresh after a
         # rebuild; drop it now so it does not pin the old node graph.
         self._flat = None
         self._flat_version = -1
-        n = int(self._lefts.shape[0])
-        active_mask = np.ones(n, dtype=bool)
+        self._structure_version += 1
+        self._built_version = self._structure_version
+        self._root = None
+        self._height = 0
+        self._tree_deferred = False
+        # The batch pool is always empty when a rebuild runs (every caller
+        # drains it first), so the active set is "all non-deleted rows".
+        if self._col_len - len(self._deleted) == 0:
+            return
+        self._rebuild_count += 1
+        if self._build_backend == "columnar":
+            self._tree_deferred = True
+            return
+        self._materialise_tree()
+
+    def _indexed_ids(self) -> np.ndarray:
+        """Ids the tree indexes: active rows minus the batch-insertion pool."""
+        n = int(self._col_len)
+        mask = np.ones(n, dtype=bool)
         if self._deleted:
-            active_mask[np.fromiter(self._deleted, dtype=np.int64, count=len(self._deleted))] = (
+            mask[np.fromiter(self._deleted, dtype=np.int64, count=len(self._deleted))] = (
                 False
             )
-        active = np.flatnonzero(active_mask).astype(np.int64, copy=False)
-        self._structure_version += 1
+        if self._pool:
+            mask[np.asarray(self._pool, dtype=np.int64)] = False
+        return np.flatnonzero(mask).astype(np.int64, copy=False)
+
+    def _materialise_tree(self) -> None:
+        """Build the node graph over the currently indexed intervals."""
+        active = self._indexed_ids()
         if active.shape[0] == 0:
             self._root = None
             self._height = 0
@@ -186,7 +235,39 @@ class AIT(SamplingIndex):
         ids_by_left = active[np.argsort(self._lefts[active], kind="stable")]
         ids_by_right = active[np.argsort(self._rights[active], kind="stable")]
         self._root, self._height = self._build_node(ids_by_left, ids_by_right, depth=1)
-        self._rebuild_count += 1
+
+    def _ensure_tree(self) -> None:
+        """Materialise a deferred node tree (columnar backend), exactly once.
+
+        The materialised graph is identical to what an eager build would
+        have produced — same active set, same build algorithm — so if the
+        cached snapshot was built treelessly for this same structure
+        version, its preorder node list is attached now: that is what lets
+        later *incremental* refreshes splice against a
+        :meth:`FlatAIT.from_arrays` snapshot.
+        """
+        if not self._tree_deferred:
+            return
+        self._tree_deferred = False
+        self._materialise_tree()
+        flat = self._flat
+        if (
+            flat is not None
+            and self._flat_version == self._structure_version
+            and flat._nodes is None
+        ):
+            self._attach_nodes(flat)
+
+    def _attach_nodes(self, flat: FlatAIT) -> None:
+        """Attach this tree's preorder node walk to a treeless snapshot.
+
+        Only valid when the snapshot's arrays correspond exactly to the
+        current node graph (callers guard this); afterwards the incremental
+        refresh can splice clean segments against it by node identity.
+        """
+        nodes = FlatAIT._walk_preorder(self)
+        flat._nodes = nodes
+        flat._node_index = {id(node): i for i, node in enumerate(nodes)}
 
     def _build_node(
         self, ids_by_left: np.ndarray, ids_by_right: np.ndarray, depth: int
@@ -247,13 +328,31 @@ class AIT(SamplingIndex):
     # ------------------------------------------------------------------ #
     @property
     def root(self) -> Optional[AITNode]:
-        """Root node of the tree (None when every interval was deleted)."""
+        """Root node of the tree (None when every interval was deleted).
+
+        Materialises a deferred (columnar-backend) node tree on access.
+        """
+        self._ensure_tree()
         return self._root
 
     @property
     def height(self) -> int:
-        """Current height of the tree (number of levels)."""
+        """Current height of the tree (number of levels).
+
+        Materialises a deferred (columnar-backend) node tree on access.
+        """
+        self._ensure_tree()
         return self._height
+
+    @property
+    def build_backend(self) -> str:
+        """The full-build route this tree was configured with ('tree' | 'columnar')."""
+        return self._build_backend
+
+    @property
+    def tree_materialised(self) -> bool:
+        """False while the columnar backend is still deferring node construction."""
+        return not self._tree_deferred
 
     @property
     def size(self) -> int:
@@ -368,7 +467,11 @@ class AIT(SamplingIndex):
         return Interval(float(self._lefts[i]), float(self._rights[i]), float(self._weights[i]))
 
     def iter_nodes(self) -> Iterator[AITNode]:
-        """Depth-first iteration over every node of the tree."""
+        """Depth-first iteration over every node of the tree.
+
+        Materialises a deferred (columnar-backend) node tree on first use.
+        """
+        self._ensure_tree()
         stack = [self._root] if self._root is not None else []
         while stack:
             node = stack.pop()
@@ -382,12 +485,44 @@ class AIT(SamplingIndex):
         """Number of nodes in the tree."""
         return sum(1 for _ in self.iter_nodes())
 
-    def memory_bytes(self) -> int:
-        """Approximate memory footprint of the tree structure in bytes."""
-        total = sum(node.nbytes() for node in self.iter_nodes())
-        total += int(
-            self._col_lefts.nbytes + self._col_rights.nbytes + self._col_weights.nbytes
-        )
+    def memory_bytes(
+        self, include_capacity: bool = True, materialise: bool = True
+    ) -> int:
+        """Approximate memory footprint of the tree structure in bytes.
+
+        Parameters
+        ----------
+        include_capacity:
+            Count the full capacity of the growable columnar buffers (what
+            the process actually holds; default) rather than only the live
+            row prefix.  The difference is exactly
+            ``(column_capacity - len(columns)) * 24`` bytes — three float64
+            columns of slack.
+        materialise:
+            Materialise a deferred (columnar-backend) node tree before
+            measuring, so the reported figure covers the complete structure
+            an eager build would hold (default).  Pass ``False`` to measure
+            only what currently exists — the service layer uses this so a
+            treeless shard snapshot is not forced to build its node graph
+            just to be sized.
+
+        Flat snapshots are measured separately via
+        :meth:`FlatAIT.nbytes`, which symmetrically exposes an
+        ``include_rank_keys`` knob for its derived acceleration arrays.
+        """
+        if materialise:
+            self._ensure_tree()
+        total = 0
+        if not self._tree_deferred:
+            # iter_nodes' own _ensure_tree is a no-op here, so this never
+            # forces a deferred tree.
+            total += sum(node.nbytes() for node in self.iter_nodes())
+        if include_capacity:
+            total += int(
+                self._col_lefts.nbytes + self._col_rights.nbytes + self._col_weights.nbytes
+            )
+        else:
+            total += int(self._lefts.nbytes + self._rights.nbytes + self._weights.nbytes)
         return total
 
     # ------------------------------------------------------------------ #
@@ -403,6 +538,7 @@ class AIT(SamplingIndex):
         the walk.
         """
         query_left, query_right = self._coerce(query)
+        self._ensure_tree()
         records: list[NodeRecord] = []
         node = self._root
         while node is not None:
@@ -514,15 +650,32 @@ class AIT(SamplingIndex):
         the ``snapshot_dirty_threshold`` passed at construction;
         :attr:`snapshot_full_builds` and
         :attr:`snapshot_incremental_refreshes` count which path ran.
+
+        Full builds route through the *treeless columnar builder*
+        (:meth:`FlatAIT.from_arrays`) whenever the configured
+        ``build_backend`` is ``"columnar"`` and the tree is *pristine* — no
+        structural mutation since the last logical rebuild — in which case
+        the node tree (possibly still deferred) is guaranteed to equal a
+        fresh build over the current columns and the two builders produce
+        bit-identical arrays.  Once scalar updates have reshaped the tree,
+        full builds fall back to :meth:`FlatAIT.from_tree`, which serialises
+        the actual node graph.
         """
         if self._flat is None or self._flat_version != self._structure_version:
             previous = None if (self._flat is None or self._journal_full) else self._flat
-            self._flat = FlatAIT.from_tree(
-                self,
-                previous=previous,
-                dirty=self._journal if previous is not None else None,
-                max_dirty_fraction=self._snapshot_dirty_threshold,
-            )
+            if previous is None and (
+                self._build_backend == "columnar"
+                and self._structure_version == self._built_version
+            ):
+                self._flat = self._columnar_snapshot()
+            else:
+                self._ensure_tree()
+                self._flat = FlatAIT.from_tree(
+                    self,
+                    previous=previous,
+                    dirty=self._journal if previous is not None else None,
+                    max_dirty_fraction=self._snapshot_dirty_threshold,
+                )
             if self._flat.built_incrementally:
                 self._snapshot_incremental_refreshes += 1
             else:
@@ -530,6 +683,27 @@ class AIT(SamplingIndex):
             self._flat_version = self._structure_version
             self._reset_journal()
         return self._flat
+
+    def _columnar_snapshot(self) -> FlatAIT:
+        """Full snapshot straight from the endpoint columns (no node walk).
+
+        Only valid while the tree is pristine (structure equals a fresh
+        build over the current columns) — :meth:`flat` guards this.  When
+        the node tree happens to be materialised already, its preorder walk
+        is attached to the snapshot so later incremental refreshes can
+        splice against it; a deferred tree attaches lazily in
+        :meth:`_ensure_tree` instead.
+        """
+        active = self._indexed_ids()
+        engine = FlatAIT.from_arrays(
+            self._lefts[active],
+            self._rights[active],
+            ids=active,
+            weights=self._weights[active] if self._weighted else None,
+        )
+        if not self._tree_deferred and self._root is not None:
+            self._attach_nodes(engine)
+        return engine
 
     def _pool_match_mask(self, ql: np.ndarray, qr: np.ndarray) -> Optional[np.ndarray]:
         """Boolean (queries x pooled ids) overlap matrix, or None when no pool."""
@@ -709,11 +883,21 @@ class AIT(SamplingIndex):
         queries issued in the meantime still see it (the pool is scanned,
         which is the paper's amortisation strategy).  Pass ``immediate=True``
         for the one-by-one insertion path.
+
+        On weighted trees (:class:`~repro.core.awit.AWIT`) the scalar call is
+        routed through the bulk :meth:`insert_many` path, which maintains
+        the positional weight-prefix arrays by wholesale recomputation per
+        touched list — the paper's Section IV-A restriction only rules out
+        *positional patching*, not the bulk route, so the scalar API works
+        on both engines.  ``immediate`` is ignored there (the bulk path
+        always merges at once).  Pass an :class:`Interval` carrying a weight
+        to insert a weighted interval; bare pairs get weight 1.
         """
-        from .updates import insert_immediate, insert_pooled
+        from .updates import _coerce_new_interval, insert_immediate, insert_pooled
 
         if self._weighted:
-            raise StructureStateError("the weighted AWIT does not support updates (Section IV-A)")
+            left, right, weight = _coerce_new_interval(interval)
+            return int(self.insert_many([left], [right], weights=[weight])[0])
         if immediate:
             return insert_immediate(self, interval)
         return insert_pooled(self, interval)
@@ -777,11 +961,16 @@ class AIT(SamplingIndex):
         return flush_pool(self)
 
     def delete(self, interval_id: int) -> bool:
-        """Delete the interval with the given id; return True when it was present."""
+        """Delete the interval with the given id; return True when it was present.
+
+        On weighted trees the scalar call is routed through the bulk
+        :meth:`delete_many` path (see :meth:`insert` for why that sidesteps
+        the Section IV-A restriction), so deletion works on both engines.
+        """
         from .updates import delete_interval
 
         if self._weighted:
-            raise StructureStateError("the weighted AWIT does not support updates (Section IV-A)")
+            return bool(self.delete_many([interval_id])[0])
         return delete_interval(self, interval_id)
 
     # ------------------------------------------------------------------ #

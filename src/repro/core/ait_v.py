@@ -65,6 +65,10 @@ class AITV(SamplingIndex):
     max_rejection_rounds:
         Safety valve for the rejection loop; when exceeded the query falls
         back to an exact scan of the candidate buckets.
+    build_backend:
+        Forwarded to the internal virtual-interval :class:`AIT` (see its
+        documentation); ``"columnar"`` (default) defers node materialisation
+        until the first scalar query.
 
     Examples
     --------
@@ -83,6 +87,7 @@ class AITV(SamplingIndex):
         partition: str = "pair_sort",
         partition_random_state=None,
         max_rejection_rounds: int = 64,
+        build_backend: str = "columnar",
     ) -> None:
         super().__init__(dataset)
         n = len(dataset)
@@ -125,7 +130,7 @@ class AITV(SamplingIndex):
         virtual_lefts = member_lefts.min(axis=1)
         virtual_rights = member_rights.max(axis=1)
         self._virtual_dataset = IntervalDataset(virtual_lefts, virtual_rights)
-        self._virtual_tree = AIT(self._virtual_dataset)
+        self._virtual_tree = AIT(self._virtual_dataset, build_backend=build_backend)
 
     # ------------------------------------------------------------------ #
     # accessors

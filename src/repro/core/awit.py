@@ -9,24 +9,30 @@ the cumulative-sum method on the precomputed prefix (O(log n) per draw).  The
 total query cost is ``O(log^2 n + s log n)`` (Corollary 5) and every interval
 ``x ∈ q ∩ X`` is returned with probability ``w(x) / Σ w(x')`` per draw.
 
-Because the prefix arrays are positional, the AWIT does not support *scalar*
-updates (the paper defers dynamic weighted IRS to future work);
-:meth:`AIT.insert` and :meth:`AIT.delete` raise
-:class:`~repro.core.errors.StructureStateError`.  The repo's engineering
+Because the prefix arrays are positional, the paper's AWIT is static (it
+defers dynamic weighted IRS to future work).  The repo's engineering
 extension :meth:`AIT.insert_many` / :meth:`AIT.delete_many` *does* work on
 weighted trees: the bulk paths recompute every touched list's prefix array
 wholesale (one ``cumsum`` per touched list), which sidesteps the positional
-patching problem entirely — see ``docs/ARCHITECTURE.md``.
+patching problem entirely — see ``docs/ARCHITECTURE.md``.  The scalar
+:meth:`AIT.insert` / :meth:`AIT.delete` calls are routed through those same
+bulk paths (as one-element batches), so the scalar update API works
+uniformly on both engines.
 
 Examples
 --------
->>> from repro import AWIT, IntervalDataset
+>>> from repro import AWIT, Interval, IntervalDataset
 >>> tree = AWIT(IntervalDataset.from_pairs([(0, 10), (5, 15)], weights=[1.0, 9.0]))
 >>> ids = tree.insert_many([20.0], [30.0], weights=[4.0])
 >>> tree.total_weight((0, 40))
 14.0
 >>> tree.delete_many(ids).tolist()
 [True]
+>>> scalar_id = tree.insert(Interval(20.0, 30.0, weight=2.0))
+>>> tree.total_weight((0, 40))
+12.0
+>>> tree.delete(scalar_id)
+True
 >>> tree.total_weight((0, 40))
 10.0
 """
@@ -65,8 +71,18 @@ class AWIT(AIT):
     4
     """
 
-    def __init__(self, dataset: IntervalDataset, batch_pool_size: Optional[int] = None) -> None:
-        super().__init__(dataset, weighted=True, batch_pool_size=batch_pool_size)
+    def __init__(
+        self,
+        dataset: IntervalDataset,
+        batch_pool_size: Optional[int] = None,
+        build_backend: str = "columnar",
+    ) -> None:
+        super().__init__(
+            dataset,
+            weighted=True,
+            batch_pool_size=batch_pool_size,
+            build_backend=build_backend,
+        )
 
     def total_weight(self, query: QueryLike) -> float:
         """Total weight of ``q ∩ X`` in O(log^2 n) time (weighted range counting)."""

@@ -49,7 +49,7 @@ import numpy as np
 
 from ..sampling.cumulative import segmented_inverse_cdf
 from ..sampling.rng import RandomState, resolve_rng
-from .errors import EmptyResultError
+from .errors import EmptyResultError, InvalidIntervalError, InvalidWeightError
 from .query import QueryLike, coerce_query, coerce_query_batch, validate_sample_size
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -128,6 +128,30 @@ def _ranges_to_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     boundaries = np.cumsum(lengths)[:-1]
     out[boundaries] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
     return np.cumsum(out)
+
+
+def _segmented_cumsum(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sums per segment, bit-identical to per-segment ``np.cumsum``.
+
+    A global cumsum with per-segment offset subtraction would accumulate in a
+    different floating-point order than the per-node ``np.cumsum`` the tree
+    build uses, so the results would only be *close*, not equal.  Instead,
+    segments are bucketed by length and every bucket runs one 2-D
+    ``np.cumsum(axis=1)`` — row-sequential accumulation, i.e. exactly the
+    rounding order of a 1-D cumsum over each segment — so the output matches
+    a Python loop of per-segment cumsums bit for bit, at a cost of one
+    vectorised pass per *distinct* segment length.
+    """
+    out = np.empty(values.shape[0], dtype=_F8)
+    lengths = lengths[lengths > 0]
+    if lengths.shape[0] == 0:
+        return out
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    for length in np.unique(lengths):
+        rows = np.flatnonzero(lengths == length)
+        idx = starts[rows][:, None] + np.arange(int(length), dtype=_ID)[None, :]
+        out[idx] = np.cumsum(values[idx], axis=1)
+    return out
 
 
 class FlatAIT:
@@ -209,21 +233,83 @@ class FlatAIT:
         node), so the insertion point of a query endpoint inside *any* node's
         segment is ``searchsorted(keys, node * M + rank(endpoint))`` — no
         per-lane binary-search loop, just two C-level searches per batch.
+
+        The ranks themselves need no binary search either: every pool value
+        is some active interval's endpoint, so its first-occurrence rank in
+        the root column can be scattered once per interval id and gathered
+        per pool element — O(pool) gathers instead of O(pool log n) searches,
+        which measurably shortens snapshot construction at millions of list
+        entries.
         """
         n_active = int(self._sub_len[0]) if self.node_count else 0
         self._sorted_lefts = self._sub_lefts[:n_active]
         self._sorted_rights = self._sub_rights[:n_active]
         self._rank_m = n_active + 1
+        if n_active == 0:
+            empty = np.empty(0, dtype=_ID)
+            self._stab_lefts_key = empty
+            self._stab_rights_key = empty
+            self._sub_lefts_key = empty
+            self._sub_rights_key = empty
+            return
 
-        def keys(pool: np.ndarray, lengths: np.ndarray, sorted_values: np.ndarray) -> np.ndarray:
+        def first_occurrence_ranks(sorted_values: np.ndarray) -> np.ndarray:
+            # rank(v) == searchsorted(sorted_values, v, 'left') for members.
+            first = np.empty(n_active, dtype=bool)
+            first[0] = True
+            np.not_equal(sorted_values[1:], sorted_values[:-1], out=first[1:])
+            return np.maximum.accumulate(
+                np.where(first, np.arange(n_active, dtype=_ID), 0)
+            )
+
+        kb = self._kind_base
+        root_by_right = self._all_ids[kb[2] : kb[2] + n_active]
+        root_by_left = self._all_ids[kb[3] : kb[3] + n_active]
+        size = int(max(root_by_left.max(), root_by_right.max())) + 1
+        if size <= max(16 * n_active, 1 << 20):
+            # Dense id space (every internal caller: ids are column rows):
+            # one scatter per dictionary, O(1) lookups.
+            rank_left_of = np.empty(size, dtype=_ID)
+            rank_right_of = np.empty(size, dtype=_ID)
+            rank_left_of[root_by_left] = first_occurrence_ranks(self._sorted_lefts)
+            rank_right_of[root_by_right] = first_occurrence_ranks(self._sorted_rights)
+        else:
+            # Sparse id space (from_arrays with caller-supplied huge ids): an
+            # id-sized scatter table would be absurd, so compact the ids and
+            # look ranks up through one searchsorted per pool instead.
+            unique_ids = np.sort(root_by_left)
+            rank_left_of = np.empty(n_active, dtype=_ID)
+            rank_right_of = np.empty(n_active, dtype=_ID)
+            rank_left_of[np.searchsorted(unique_ids, root_by_left)] = (
+                first_occurrence_ranks(self._sorted_lefts)
+            )
+            rank_right_of[np.searchsorted(unique_ids, root_by_right)] = (
+                first_occurrence_ranks(self._sorted_rights)
+            )
+
+            class _CompactLookup:
+                __slots__ = ("table",)
+
+                def __init__(self, table: np.ndarray) -> None:
+                    self.table = table
+
+                def __getitem__(self, id_segment: np.ndarray) -> np.ndarray:
+                    return self.table[np.searchsorted(unique_ids, id_segment)]
+
+            rank_left_of = _CompactLookup(rank_left_of)
+            rank_right_of = _CompactLookup(rank_right_of)
+
+        def node_base(lengths: np.ndarray) -> np.ndarray:
             node_of = np.repeat(np.arange(lengths.shape[0], dtype=_ID), lengths)
-            rank = np.searchsorted(sorted_values, pool, side="left")
-            return node_of * self._rank_m + rank
+            node_of *= self._rank_m
+            return node_of
 
-        self._stab_lefts_key = keys(self._stab_lefts, self._stab_len, self._sorted_lefts)
-        self._stab_rights_key = keys(self._stab_rights, self._stab_len, self._sorted_rights)
-        self._sub_lefts_key = keys(self._sub_lefts, self._sub_len, self._sorted_lefts)
-        self._sub_rights_key = keys(self._sub_rights, self._sub_len, self._sorted_rights)
+        stab_base = node_base(self._stab_len)
+        sub_base = node_base(self._sub_len)
+        self._stab_lefts_key = stab_base + rank_left_of[self._all_ids[kb[0] : kb[1]]]
+        self._stab_rights_key = stab_base + rank_right_of[self._all_ids[kb[1] : kb[2]]]
+        self._sub_rights_key = sub_base + rank_right_of[self._all_ids[kb[2] : kb[3]]]
+        self._sub_lefts_key = sub_base + rank_left_of[self._all_ids[kb[3] :]]
 
     def _rank_search(
         self,
@@ -274,6 +360,389 @@ class FlatAIT:
             if engine is not None:
                 return engine
         return cls._full_from_tree(tree)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        lefts,
+        rights,
+        ids=None,
+        weights=None,
+    ) -> "FlatAIT":
+        """Build the flattened index directly from endpoint arrays — no node tree.
+
+        This is the *treeless columnar builder*: an iterative,
+        level-synchronous replay of the AIT construction (median centers,
+        three-way stab / left-subtree / right-subtree split) executed entirely
+        on NumPy arrays.  The output is **bit-identical** to
+        ``FlatAIT.from_tree(AIT(dataset))`` for a freshly built tree over the
+        same intervals — same preorder node layout, same pool contents, same
+        weight prefixes — but skips every Python-level ``AITNode`` allocation
+        and per-node list gather, which makes it the fast path for full
+        (re)builds of large snapshots.
+
+        Per level, the builder keeps three pools grouped into per-node
+        segments: the live interval positions in by-left order (``L^l`` /
+        ``AL^l`` order), in by-right order (``L^r`` / ``AL^r``), and the
+        merged endpoint multiset in sorted order.  One round computes every
+        node's center from the two middle endpoints of its merged segment,
+        classifies all live intervals against their node's center with pure
+        array ops, extracts the stab lists, and forwards the two subtree
+        classes to the next level — boolean masking preserves both sort
+        orders, so no re-sorting is ever needed below the root.  A final
+        vectorised BFS-to-preorder renumbering assembles the pools in the
+        exact layout :meth:`from_tree` produces.
+
+        Parameters
+        ----------
+        lefts, rights:
+            Endpoint columns of the intervals to index (validated: finite,
+            ``lefts <= rights``).
+        ids:
+            Interval ids stored in the list pools; defaults to
+            ``arange(len(lefts))``.
+        weights:
+            When given, builds the weighted (AWIT) layout with per-list
+            inclusive weight-prefix pools (validated: finite, non-negative).
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro import FlatAIT
+        >>> engine = FlatAIT.from_arrays([0.0, 5.0, 20.0], [10.0, 15.0, 30.0])
+        >>> engine.count_many([(4, 12), (18, 25)]).tolist()
+        [2, 1]
+        """
+        lefts = np.ascontiguousarray(lefts, dtype=_F8).reshape(-1)
+        rights = np.ascontiguousarray(rights, dtype=_F8).reshape(-1)
+        n = int(lefts.shape[0])
+        if int(rights.shape[0]) != n:
+            raise InvalidIntervalError(
+                f"from_arrays expects equally long columns, got {n} lefts and "
+                f"{rights.shape[0]} rights"
+            )
+        if ids is None:
+            ids = np.arange(n, dtype=_ID)
+        else:
+            ids = np.ascontiguousarray(ids, dtype=_ID).reshape(-1)
+            if int(ids.shape[0]) != n:
+                raise InvalidIntervalError(
+                    f"from_arrays got {ids.shape[0]} ids for {n} intervals"
+                )
+            # Duplicate or negative ids would silently corrupt the rank-key
+            # dictionaries (they are scattered per id in _build_rank_keys);
+            # reject them like every other malformed input.
+            if n and int(ids.min()) < 0:
+                raise InvalidIntervalError("from_arrays ids must be non-negative")
+            if n and int(np.unique(ids).shape[0]) != n:
+                raise InvalidIntervalError("from_arrays ids must be unique")
+        finite = np.isfinite(lefts) & np.isfinite(rights)
+        if not finite.all():
+            bad = int(np.flatnonzero(~finite)[0])
+            raise InvalidIntervalError(
+                f"interval endpoints must be finite, got [{lefts[bad]}, {rights[bad]}] "
+                f"at position {bad}"
+            )
+        inverted = lefts > rights
+        if inverted.any():
+            bad = int(np.flatnonzero(inverted)[0])
+            raise InvalidIntervalError(
+                f"interval left endpoint must not exceed right endpoint, got "
+                f"[{lefts[bad]}, {rights[bad]}] at position {bad}"
+            )
+        weighted = weights is not None
+        if weighted:
+            weights = np.ascontiguousarray(weights, dtype=_F8).reshape(-1)
+            if int(weights.shape[0]) != n:
+                raise InvalidWeightError(
+                    f"from_arrays got {weights.shape[0]} weights for {n} intervals"
+                )
+            valid = np.isfinite(weights) & (weights >= 0)
+            if not valid.all():
+                bad = int(np.flatnonzero(~valid)[0])
+                raise InvalidWeightError(
+                    f"interval weight must be finite and non-negative, got "
+                    f"{weights[bad]!r} at position {bad}"
+                )
+
+        if n == 0:
+            return cls(
+                np.empty(0, dtype=_F8),
+                np.empty(0, dtype=_ID),
+                np.empty(0, dtype=_ID),
+                np.empty(0, dtype=_ID),
+                np.empty(0, dtype=_ID),
+                np.empty(0, dtype=_ID),
+                np.empty(0, dtype=_ID),
+                np.empty(0, dtype=_F8),
+                np.empty(0, dtype=_F8),
+                np.empty(0, dtype=_F8),
+                np.empty(0, dtype=_F8),
+                np.empty(0, dtype=_ID),
+                np.empty(0, dtype=_F8) if weighted else None,
+                weighted,
+            )
+
+        # ---- level-synchronous partitioning over positions 0..n-1 -------- #
+        # Two pools, each grouped into contiguous per-node segments: the live
+        # interval positions in by-left order and in by-right order.  Both
+        # inherit their in-segment ordering through the boolean-mask splits
+        # below, exactly like the recursive build's children do.  Positions
+        # are 32-bit where possible — these are the hot per-level arrays, and
+        # halving their width measurably cuts the whole build.
+        pos_dtype = np.int32 if n < 2**31 - 1 else _ID
+        cur_l = np.argsort(lefts, kind="stable").astype(pos_dtype, copy=False)
+        cur_r = np.argsort(rights, kind="stable").astype(pos_dtype, copy=False)
+        seg_len = np.array([n], dtype=_ID)
+
+        cls_buf = np.empty(n, dtype=np.int8)
+
+        lv_centers: list[np.ndarray] = []
+        lv_seg_len: list[np.ndarray] = []
+        lv_stab_counts: list[np.ndarray] = []
+        lv_stab_l: list[np.ndarray] = []
+        lv_stab_r: list[np.ndarray] = []
+        lv_sub_l: list[np.ndarray] = []
+        lv_sub_r: list[np.ndarray] = []
+        lv_left_child: list[np.ndarray] = []
+        lv_right_child: list[np.ndarray] = []
+        lv_first_node: list[int] = []
+        node_total = 0
+
+        def merged_kth(sorted_l, sorted_r, off, m, count):
+            """Per segment, the ``count``-th smallest (1-based) of the union
+            of its m sorted left values and m sorted right values.
+
+            Vectorised binary search on the split point (how many values the
+            union prefix takes from the left column) — O(k log m) instead of
+            materialising merged endpoint pools, with clipped gathers keeping
+            converged lanes in bounds.
+            """
+            lo = np.maximum(count - m, 0)
+            hi = np.minimum(count, m)
+            while True:
+                active = lo < hi
+                if not active.any():
+                    break
+                i = (lo + hi) >> 1
+                j = count - i
+                take_more = active & (
+                    sorted_r[off + np.maximum(j - 1, 0)]
+                    > sorted_l[off + np.minimum(i, m - 1)]
+                )
+                lo = np.where(take_more, i + 1, lo)
+                hi = np.where(active & ~take_more, i, hi)
+            i = lo
+            j = count - i
+            from_l = np.where(
+                i > 0, sorted_l[off + np.maximum(i - 1, 0)], -np.inf
+            )
+            from_r = np.where(
+                j > 0, sorted_r[off + np.maximum(j - 1, 0)], -np.inf
+            )
+            return np.maximum(from_l, from_r)
+
+        while seg_len.shape[0]:
+            k = int(seg_len.shape[0])
+            lv_first_node.append(node_total)
+            m = seg_len
+            off = np.concatenate(([0], np.cumsum(m)[:-1])).astype(_ID, copy=False)
+
+            seg_lefts = lefts[cur_l]
+            seg_rights = rights[cur_l]
+            sorted_rights = rights[cur_r]
+            # Median of each node's 2m merged endpoints: the mean of the two
+            # middle order statistics, matching np.median on an even-length
+            # array bit for bit.
+            centers = (
+                merged_kth(seg_lefts, sorted_rights, off, m, m)
+                + merged_kth(seg_lefts, sorted_rights, off, m, m + 1)
+            ) / 2.0
+
+            cen = np.repeat(centers, m)
+            left_m = seg_rights < cen
+            right_m = seg_lefts > cen
+            # Classify once per interval (each lives in exactly one node per
+            # level) and scatter, so the by-right pool reuses the decision
+            # instead of re-deriving it from endpoint comparisons.
+            codes = np.ones(cur_l.shape[0], dtype=np.int8)
+            codes[left_m] = 0
+            codes[right_m] = 2
+            cls_buf[cur_l] = codes
+            cls_r = cls_buf[cur_r]
+
+            node_of = np.repeat(np.arange(k, dtype=pos_dtype), m)
+            stab_m = codes == 1
+            stab_counts = np.bincount(node_of[stab_m], minlength=k).astype(_ID, copy=False)
+            lv_centers.append(centers)
+            lv_seg_len.append(m)
+            lv_stab_counts.append(stab_counts)
+            lv_stab_l.append(cur_l[stab_m])
+            lv_stab_r.append(cur_r[cls_r == 1])
+            lv_sub_l.append(cur_l)
+            lv_sub_r.append(cur_r)
+
+            left_counts = np.bincount(node_of[left_m], minlength=k).astype(_ID, copy=False)
+            right_counts = np.bincount(node_of[right_m], minlength=k).astype(
+                _ID, copy=False
+            )
+            has_left = left_counts > 0
+            has_right = right_counts > 0
+            n_left = int(has_left.sum())
+            n_right = int(has_right.sum())
+            lchild = np.full(k, -1, dtype=_ID)
+            rchild = np.full(k, -1, dtype=_ID)
+            # Children get BFS ids on the next level: all left children of
+            # the level first, then all right children — matching the
+            # concatenation order of the next level's segments below.  (The
+            # final preorder renumbering erases this choice.)
+            base = node_total + k
+            lchild[has_left] = base + np.arange(n_left, dtype=_ID)
+            rchild[has_right] = base + n_left + np.arange(n_right, dtype=_ID)
+            lv_left_child.append(lchild)
+            lv_right_child.append(rchild)
+            node_total += k
+
+            if n_left + n_right:
+                cur_l = np.concatenate((cur_l[left_m], cur_l[right_m]))
+                cur_r = np.concatenate((cur_r[cls_r == 0], cur_r[cls_r == 2]))
+                seg_len = np.concatenate(
+                    (left_counts[has_left], right_counts[has_right])
+                )
+            else:
+                seg_len = np.empty(0, dtype=_ID)
+
+        # ---- BFS -> preorder renumbering --------------------------------- #
+        total_nodes = node_total
+        bfs_center = np.concatenate(lv_centers)
+        bfs_sub_len = np.concatenate(lv_seg_len).astype(_ID, copy=False)
+        bfs_stab_len = np.concatenate(lv_stab_counts).astype(_ID, copy=False)
+        bfs_left = np.concatenate(lv_left_child)
+        bfs_right = np.concatenate(lv_right_child)
+
+        level_count = len(lv_centers)
+        # Subtree node counts, bottom-up (children live one level deeper).
+        subtree_nodes = np.ones(total_nodes, dtype=_ID)
+        for li in range(level_count - 1, -1, -1):
+            start = lv_first_node[li]
+            stop = start + lv_centers[li].shape[0]
+            lc = bfs_left[start:stop]
+            rc = bfs_right[start:stop]
+            extra = np.zeros(stop - start, dtype=_ID)
+            has = lc >= 0
+            extra[has] = subtree_nodes[lc[has]]
+            has = rc >= 0
+            extra[has] += subtree_nodes[rc[has]]
+            subtree_nodes[start:stop] = 1 + extra
+        # Preorder ranks, top-down: left child follows its parent directly,
+        # the right child follows the whole left subtree.
+        pos = np.empty(total_nodes, dtype=_ID)
+        pos[0] = 0
+        for li in range(level_count):
+            start = lv_first_node[li]
+            stop = start + lv_centers[li].shape[0]
+            lc = bfs_left[start:stop]
+            rc = bfs_right[start:stop]
+            parent_pos = pos[start:stop]
+            has_l = lc >= 0
+            pos[lc[has_l]] = parent_pos[has_l] + 1
+            right_base = parent_pos + 1
+            right_base = right_base.copy()
+            right_base[has_l] += subtree_nodes[lc[has_l]]
+            has_r = rc >= 0
+            pos[rc[has_r]] = right_base[has_r]
+
+        centers = np.empty(total_nodes, dtype=_F8)
+        centers[pos] = bfs_center
+        stab_len = np.empty(total_nodes, dtype=_ID)
+        stab_len[pos] = bfs_stab_len
+        sub_len = np.empty(total_nodes, dtype=_ID)
+        sub_len[pos] = bfs_sub_len
+        left_child = np.full(total_nodes, -1, dtype=_ID)
+        has = bfs_left >= 0
+        left_child[pos[has]] = pos[bfs_left[has]]
+        right_child = np.full(total_nodes, -1, dtype=_ID)
+        has = bfs_right >= 0
+        right_child[pos[has]] = pos[bfs_right[has]]
+        stab_off = np.concatenate(([0], np.cumsum(stab_len)[:-1])).astype(_ID, copy=False)
+        sub_off = np.concatenate(([0], np.cumsum(sub_len)[:-1])).astype(_ID, copy=False)
+
+        # ---- pool assembly in preorder ----------------------------------- #
+        # Per-node start offsets into the level-concatenated stab / sub
+        # arrays, then one index expansion per pool family gathers every
+        # node's segment in preorder.
+        all_stab_l = np.concatenate(lv_stab_l)
+        all_stab_r = np.concatenate(lv_stab_r)
+        all_sub_l = np.concatenate(lv_sub_l)
+        all_sub_r = np.concatenate(lv_sub_r)
+        bfs_stab_start = np.empty(total_nodes, dtype=_ID)
+        bfs_sub_start = np.empty(total_nodes, dtype=_ID)
+        stab_base = 0
+        sub_base = 0
+        for li in range(level_count):
+            start = lv_first_node[li]
+            k = lv_centers[li].shape[0]
+            counts = lv_stab_counts[li]
+            bfs_stab_start[start : start + k] = stab_base + np.concatenate(
+                ([0], np.cumsum(counts)[:-1])
+            )
+            stab_base += int(counts.sum())
+            counts = lv_seg_len[li]
+            bfs_sub_start[start : start + k] = sub_base + np.concatenate(
+                ([0], np.cumsum(counts)[:-1])
+            )
+            sub_base += int(counts.sum())
+        stab_start = np.empty(total_nodes, dtype=_ID)
+        stab_start[pos] = bfs_stab_start
+        sub_start = np.empty(total_nodes, dtype=_ID)
+        sub_start[pos] = bfs_sub_start
+
+        nz = stab_len > 0
+        stab_idx = _ranges_to_indices(stab_start[nz], stab_len[nz])
+        nz = sub_len > 0
+        sub_idx = _ranges_to_indices(sub_start[nz], sub_len[nz])
+        stab_pos_l = all_stab_l[stab_idx]
+        stab_pos_r = all_stab_r[stab_idx]
+        sub_pos_l = all_sub_l[sub_idx]
+        sub_pos_r = all_sub_r[sub_idx]
+
+        if n == int(ids.shape[0]) and ids[0] == 0 and ids[-1] == n - 1 and np.array_equal(
+            ids, np.arange(n, dtype=_ID)
+        ):
+            # Identity id map (the common full-build case): positions ARE the
+            # ids, so skip four pool-sized random gathers.
+            id_pools = (stab_pos_l, stab_pos_r, sub_pos_r, sub_pos_l)
+            all_ids = np.concatenate(id_pools).astype(_ID, copy=False)
+        else:
+            all_ids = np.concatenate(
+                (ids[stab_pos_l], ids[stab_pos_r], ids[sub_pos_r], ids[sub_pos_l])
+            )
+        all_weight_prefix = None
+        if weighted:
+            all_weight_prefix = np.concatenate(
+                (
+                    _segmented_cumsum(weights[stab_pos_l], stab_len),
+                    _segmented_cumsum(weights[stab_pos_r], stab_len),
+                    _segmented_cumsum(weights[sub_pos_r], sub_len),
+                    _segmented_cumsum(weights[sub_pos_l], sub_len),
+                )
+            )
+        return cls(
+            centers,
+            left_child,
+            right_child,
+            stab_off,
+            stab_len,
+            sub_off,
+            sub_len,
+            lefts[stab_pos_l],
+            rights[stab_pos_r],
+            lefts[sub_pos_l],
+            rights[sub_pos_r],
+            all_ids,
+            all_weight_prefix,
+            weighted,
+        )
 
     @staticmethod
     def _walk_preorder(tree: "AIT") -> list:
@@ -511,15 +980,66 @@ class FlatAIT:
         """Number of serialised tree nodes."""
         return int(self._centers.shape[0])
 
+    def arrays_equal(self, other: "FlatAIT", include_rank_keys: bool = True) -> bool:
+        """True when every array of both snapshots is bit-identical.
+
+        The shared equality oracle for the two build routes
+        (:meth:`from_tree` / :meth:`from_arrays`): structure arrays, all
+        list pools, weight prefixes, and (by default) the derived rank-key
+        pools.  Used by the equivalence tests, the ``build_throughput``
+        experiment and ``scripts/bench_build.py`` so "equal" means one
+        thing everywhere.
+        """
+        names = [
+            "_centers",
+            "_left_child",
+            "_right_child",
+            "_stab_off",
+            "_stab_len",
+            "_sub_off",
+            "_sub_len",
+            "_stab_lefts",
+            "_stab_rights",
+            "_sub_lefts",
+            "_sub_rights",
+            "_all_ids",
+            "_all_weight_prefix",
+        ]
+        if include_rank_keys:
+            names += [
+                "_stab_lefts_key",
+                "_stab_rights_key",
+                "_sub_lefts_key",
+                "_sub_rights_key",
+            ]
+        if self._weighted != other._weighted:
+            return False
+        for name in names:
+            mine = getattr(self, name)
+            theirs = getattr(other, name)
+            if (mine is None) != (theirs is None):
+                return False
+            if mine is None:
+                continue
+            if mine.dtype != theirs.dtype or not np.array_equal(mine, theirs):
+                return False
+        return True
+
     @property
     def is_weighted(self) -> bool:
         """True when the snapshot carries weight prefix pools (AWIT)."""
         return self._weighted
 
-    def nbytes(self) -> int:
-        """Memory footprint of the flat arrays in bytes."""
-        total = 0
-        for arr in (
+    def nbytes(self, include_rank_keys: bool = True) -> int:
+        """Memory footprint of the flat arrays in bytes.
+
+        ``include_rank_keys=False`` excludes the four precomputed rank-key
+        pools (:meth:`_build_rank_keys`) — derived acceleration structures
+        that could be recomputed from the list pools — leaving only the
+        serialised index itself.  The default counts everything the snapshot
+        actually holds in memory, which is what capacity planning needs.
+        """
+        arrays = [
             self._centers,
             self._left_child,
             self._right_child,
@@ -533,14 +1053,15 @@ class FlatAIT:
             self._sub_rights,
             self._all_ids,
             self._all_weight_prefix,
-            self._stab_lefts_key,
-            self._stab_rights_key,
-            self._sub_lefts_key,
-            self._sub_rights_key,
-        ):
-            if arr is not None:
-                total += int(arr.nbytes)
-        return total
+        ]
+        if include_rank_keys:
+            arrays += [
+                self._stab_lefts_key,
+                self._stab_rights_key,
+                self._sub_lefts_key,
+                self._sub_rights_key,
+            ]
+        return sum(int(arr.nbytes) for arr in arrays if arr is not None)
 
     # ------------------------------------------------------------------ #
     # query coercion

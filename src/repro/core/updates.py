@@ -152,6 +152,7 @@ def _maybe_rebuild(ait: "AIT") -> None:
 def insert_immediate(ait: "AIT", interval: Interval | tuple[float, float]) -> int:
     """One-by-one insertion: update every visited node's sorted lists immediately."""
     left, right, weight = _coerce_new_interval(interval)
+    ait._ensure_tree()
     new_id = _append_columns(ait, left, right, weight)
     depth = _descend_and_insert(ait, new_id, left, right, defer_sorting=False)
     ait._height = max(ait._height, depth)
@@ -230,19 +231,27 @@ def insert_many(ait: "AIT", lefts, rights, weights=None) -> np.ndarray:
 def flush_pool(ait: "AIT") -> int:
     """Merge every pooled interval into the tree, re-sorting touched lists once."""
     pending = list(ait._pool)
-    ait._pool = []
     if not pending:
         return 0
-    ait._pool_epoch += 1
 
     # When the batch dominates the indexed portion of the tree, one
     # vectorised rebuild (O(n log n) in NumPy) beats per-interval Python
     # descents; this is what makes bulk-loading an empty tree fast.
     indexed_count = ait._active_count - len(pending)
     if len(pending) >= max(1, indexed_count):
+        # Stays treeless under the columnar backend: the rebuild defers node
+        # materialisation, so a bulk load never walks Python nodes at all.
+        ait._pool = []
+        ait._pool_epoch += 1
         ait._rebuild()
         return len(pending)
 
+    # Materialise a deferred tree while the pool still names the pending
+    # ids — they must not be part of the materialised structure, or the
+    # descents below would index them twice.
+    ait._ensure_tree()
+    ait._pool = []
+    ait._pool_epoch += 1
     touched_subtree: dict[int, tuple[AITNode, list[int]]] = {}
     touched_stab: dict[int, tuple[AITNode, list[int]]] = {}
     max_depth = ait._height
@@ -428,6 +437,7 @@ def delete_interval(ait: "AIT", interval_id: int) -> bool:
         ait._pool_epoch += 1
         return True
 
+    ait._ensure_tree()
     left = float(ait._lefts[interval_id])
     right = float(ait._rights[interval_id])
     path, stab_node = _probe_delete_path(ait, interval_id, left, right)
@@ -503,6 +513,8 @@ def delete_many(ait: "AIT", interval_ids) -> np.ndarray:
     touched_stab: dict[int, tuple[AITNode, list[int]]] = {}
     removed_ids: list[int] = []
     paths: list[list[AITNode]] = []
+    if tree_targets:
+        ait._ensure_tree()
     for position, interval_id in tree_targets:
         left = float(ait._lefts[interval_id])
         right = float(ait._rights[interval_id])

@@ -1,0 +1,97 @@
+"""Build throughput — treeless columnar vs tree-walk full builds (extends Table III).
+
+The paper's Table III reports index-construction time; this repo-specific
+experiment isolates the *full-build route* of the ``FlatAIT`` execution
+engine on the same synthetic dataset analogues:
+
+* **tree** — the legacy pipeline: build the recursive :class:`~repro.AIT`
+  node tree (``build_backend="tree"``), then serialise it with
+  :meth:`~repro.core.flat.FlatAIT.from_tree`;
+* **columnar** — the treeless builder
+  :meth:`~repro.core.flat.FlatAIT.from_arrays`, which partitions the raw
+  endpoint arrays level-synchronously and never allocates a Python node.
+
+Both routes produce bit-identical engines (asserted per cell), so the
+speedup column is a pure constant-factor comparison of the two builders.
+The sweep runs over ``config.dataset_size_fractions`` of
+``config.dataset_size`` per dataset, exposing how the gap widens with n —
+the Python tree build pays per *node*, the columnar build per *array pass*.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core import AIT
+from ..core.flat import FlatAIT
+from .config import ExperimentConfig
+from .harness import build_dataset
+from .report import ExperimentResult
+
+__all__ = ["PAPER_REFERENCE", "run"]
+
+#: Table III's AIT row (seconds, C++ at full scale) — the closest published
+#: reference point for full-build cost of this index family.
+PAPER_REFERENCE = [
+    {"algorithm": "AIT (Table III)", "book": 3.02, "btc": 7.00, "renfe": 103.52, "taxi": 274.02},
+]
+
+
+def _assert_equal_snapshots(columnar: FlatAIT, tree: FlatAIT) -> None:
+    """The two build routes must produce bit-identical engines."""
+    assert columnar.arrays_equal(tree), "from_arrays diverged from from_tree"
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure full-build time of both backends per (dataset, size) point."""
+    result = ExperimentResult(
+        experiment_id="build_throughput",
+        title="Full-build time: treeless columnar vs tree-walk [sec]",
+        columns=[
+            "dataset",
+            "n",
+            "tree_seconds",
+            "columnar_seconds",
+            "speedup",
+            "builds_per_sec",
+        ],
+        paper_reference=PAPER_REFERENCE,
+        notes=(
+            "tree = AIT(build_backend='tree') + FlatAIT.from_tree; columnar = "
+            "FlatAIT.from_arrays on the raw endpoint columns.  Outputs are "
+            "asserted bit-identical, so speedup is a pure builder comparison; "
+            "it grows with n because the tree route pays Python-level work "
+            "per node while the columnar route pays one vectorised pass per "
+            "tree level."
+        ),
+    )
+    for dataset_name in config.datasets:
+        for fraction in config.dataset_size_fractions:
+            n = max(2, int(round(config.dataset_size * fraction)))
+            dataset = build_dataset(config, dataset_name, size=n)
+
+            best_tree = float("inf")
+            tree_flat = None
+            for _ in range(max(1, config.repeats)):
+                start = time.perf_counter()
+                tree = AIT(dataset, build_backend="tree")
+                tree_flat = tree.flat()
+                best_tree = min(best_tree, time.perf_counter() - start)
+
+            best_columnar = float("inf")
+            columnar_flat = None
+            for _ in range(max(1, config.repeats)):
+                start = time.perf_counter()
+                columnar_flat = FlatAIT.from_arrays(dataset.lefts, dataset.rights)
+                best_columnar = min(best_columnar, time.perf_counter() - start)
+
+            _assert_equal_snapshots(columnar_flat, tree_flat)
+            result.add_row(
+                dataset=dataset_name,
+                n=n,
+                tree_seconds=best_tree,
+                columnar_seconds=best_columnar,
+                speedup=best_tree / best_columnar if best_columnar > 0 else float("inf"),
+                builds_per_sec=1.0 / best_columnar if best_columnar > 0 else float("inf"),
+            )
+    return result

@@ -1,10 +1,18 @@
-"""Table IV — memory usage of every index, non-weighted case."""
+"""Table IV — memory usage of every index, non-weighted case.
+
+Besides regenerating the table, the run asserts the repo's memory-accounting
+invariants: ``AIT.memory_bytes`` must expose the capacity-vs-live column
+split exactly, and ``FlatAIT.nbytes`` the rank-key split — so the numbers
+reported here (and by ``ShardedEngine.nbytes``) are mutually consistent
+rather than ad-hoc sums.
+"""
 
 from __future__ import annotations
 
+from ..core import AIT
 from .config import ExperimentConfig
 from .grid import run_grid
-from .harness import NON_WEIGHTED_ALGORITHMS
+from .harness import NON_WEIGHTED_ALGORITHMS, build_dataset
 from .report import ExperimentResult
 
 __all__ = ["PAPER_REFERENCE", "run"]
@@ -19,8 +27,46 @@ PAPER_REFERENCE = [
 ]
 
 
+def _assert_accounting_invariants(config: ExperimentConfig) -> None:
+    """Cross-check the AIT / FlatAIT memory accounting on one dataset.
+
+    * capacity vs live: ``memory_bytes(include_capacity=True)`` exceeds the
+      live-only figure by exactly the columnar slack — three float64 columns
+      of ``column_capacity - len(columns)`` rows;
+    * rank keys: ``FlatAIT.nbytes(include_rank_keys=False)`` drops exactly
+      the four derived key pools, nothing else.
+    """
+    dataset = build_dataset(config, config.datasets[0])
+    tree = AIT(dataset, build_backend="tree")
+    # Force column slack so the capacity split is non-trivial.
+    tree.insert_many([1.0], [2.0])
+    with_capacity = tree.memory_bytes(include_capacity=True)
+    live_only = tree.memory_bytes(include_capacity=False)
+    slack_rows = tree.column_capacity - (len(dataset) + 1)
+    assert slack_rows > 0, "capacity doubling should have left slack rows"
+    assert with_capacity - live_only == slack_rows * 3 * 8, (
+        "memory_bytes capacity/live split must equal the columnar slack exactly"
+    )
+    flat = tree.flat()
+    with_keys = flat.nbytes(include_rank_keys=True)
+    without_keys = flat.nbytes(include_rank_keys=False)
+    key_bytes = sum(
+        int(arr.nbytes)
+        for arr in (
+            flat._stab_lefts_key,
+            flat._stab_rights_key,
+            flat._sub_lefts_key,
+            flat._sub_rights_key,
+        )
+    )
+    assert with_keys - without_keys == key_bytes, (
+        "nbytes rank-key split must equal the four key pools exactly"
+    )
+
+
 def run(config: ExperimentConfig) -> ExperimentResult:
     """Measure structure memory (MB at the configured scale) for every competitor."""
+    _assert_accounting_invariants(config)
     cells = run_grid(config, NON_WEIGHTED_ALGORITHMS, weighted=False)
     result = ExperimentResult(
         experiment_id="table4",

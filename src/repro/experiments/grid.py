@@ -52,7 +52,7 @@ def run_grid(
         workload = build_workload(config, dataset, dataset_name, extent_fraction=extent_fraction)
         for adapter in adapters:
             index, build_seconds = measure_build(adapter, dataset)
-            memory = structure_memory_bytes(index)
+            memory = adapter.memory(index) if adapter.memory else structure_memory_bytes(index)
             timings = measure_query_timings(adapter, index, workload, sample_size, seed=config.seed)
             cells.append(
                 GridCell(dataset_name, adapter.name, adapter.display_name, build_seconds, memory, timings)

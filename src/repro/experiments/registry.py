@@ -8,6 +8,7 @@ from typing import Callable
 from .config import ExperimentConfig
 from .report import ExperimentResult
 from . import (
+    exp_build_throughput,
     exp_gateway_latency,
     exp_service_throughput,
     exp_throughput,
@@ -76,6 +77,11 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
         "gateway_latency",
         "Request latency under concurrent load: gateway micro-batching vs scalar calls",
         exp_gateway_latency.run,
+    ),
+    "build_throughput": ExperimentEntry(
+        "build_throughput",
+        "Full-build time: treeless columnar builder vs tree walk (extends Table III)",
+        exp_build_throughput.run,
     ),
 }
 

@@ -81,6 +81,19 @@ class ShardedEngine:
     batch_pool_size:
         Forwarded to each shard's tree (capacity of the paper's pooled
         insertion buffer).
+    build_backend:
+        Forwarded to every shard's tree.  ``"columnar"`` (default) builds
+        each shard's snapshot treelessly via
+        :meth:`~repro.core.flat.FlatAIT.from_arrays` — engine construction
+        and full snapshot rebuilds never allocate Python tree nodes; a
+        shard only materialises its node graph when a write batch is
+        replayed into it.  ``"tree"`` keeps the legacy eager node build.
+    parallel_refresh:
+        When True, shard construction and delta-log refreshes fan out over
+        the engine's executor (one task per shard; shards are disjoint, so
+        this is race-free).  Worth turning on with ``executor="threads"``
+        on multi-core machines — the per-shard rebuild work is dominated by
+        GIL-releasing NumPy kernels.  Defaults to False (serial refresh).
 
     Examples
     --------
@@ -107,15 +120,36 @@ class ShardedEngine:
         weighted: Optional[bool] = None,
         executor=None,
         batch_pool_size: Optional[int] = None,
+        build_backend: str = "columnar",
+        parallel_refresh: bool = False,
     ) -> None:
         self._weighted = dataset.is_weighted if weighted is None else bool(weighted)
         parts = dataset.partition_indices(num_shards, policy)
         self._policy = policy
-        self._shards = [
-            Shard(i, dataset, ids, self._weighted, batch_pool_size)
-            for i, ids in enumerate(parts)
-        ]
+        self._build_backend = build_backend
+        self._parallel_refresh = bool(parallel_refresh)
         self._executor, self._owns_executor = resolve_executor(executor)
+
+        def build_shard(item: tuple[int, np.ndarray]) -> Shard:
+            index, ids = item
+            return Shard(
+                index, dataset, ids, self._weighted, batch_pool_size, build_backend
+            )
+
+        try:
+            if self._parallel_refresh and len(parts) > 1:
+                # list(): the executor contract only promises an order-preserving
+                # map; a lazy iterator (e.g. a raw ThreadPoolExecutor) must be
+                # drained here, not stored.
+                self._shards = list(self._executor.map(build_shard, list(enumerate(parts))))
+            else:
+                self._shards = [build_shard(item) for item in enumerate(parts)]
+        except BaseException:
+            # The executor is created before the shards; don't leak an
+            # engine-owned thread pool when a shard build fails.
+            if self._owns_executor:
+                self._executor.shutdown()
+            raise
 
         owner = np.empty(len(dataset), dtype=_ID)
         for i, ids in enumerate(parts):
@@ -157,6 +191,16 @@ class ShardedEngine:
     def policy(self) -> str:
         """The partitioning policy this engine was built with."""
         return self._policy
+
+    @property
+    def build_backend(self) -> str:
+        """The shard-tree build backend this engine was built with."""
+        return self._build_backend
+
+    @property
+    def parallel_refresh(self) -> bool:
+        """True when shard construction / refreshes fan out over the executor."""
+        return self._parallel_refresh
 
     @property
     def size(self) -> int:
@@ -213,15 +257,24 @@ class ShardedEngine:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-    def refresh(self) -> list[int]:
+    def refresh(self, parallel: Optional[bool] = None) -> list[int]:
         """Apply every buffered write and return the new per-shard versions.
 
         Called automatically at the start of every batch; exposed so callers
         can pay the refresh cost at a moment of their choosing (e.g. off the
-        request path).
+        request path).  ``parallel`` overrides the engine's
+        ``parallel_refresh`` setting for this call: when on, every shard
+        with pending writes rebuilds on the executor concurrently (shards
+        are disjoint, so per-shard refresh is race-free).
         """
-        for shard in self._shards:
-            if shard.pending_ops:
+        use_parallel = self._parallel_refresh if parallel is None else bool(parallel)
+        pending = [shard for shard in self._shards if shard.pending_ops]
+        if use_parallel and len(pending) > 1:
+            # list(): force a lazy executor map to complete before versions()
+            # reads the refreshed state.
+            list(self._executor.map(lambda shard: shard.refresh(), pending))
+        else:
+            for shard in pending:
                 shard.refresh()
         return self.versions()
 
@@ -237,7 +290,10 @@ class ShardedEngine:
         self.close()
 
     def _map_shards(self, fn):
-        return self._executor.map(fn, self._shards)
+        # list(): the executor contract only promises an order-preserving
+        # map; a lazy iterator (e.g. a raw ThreadPoolExecutor) must be
+        # drained before the merge steps index or reduce the rows.
+        return list(self._executor.map(fn, self._shards))
 
     # ------------------------------------------------------------------ #
     # updates

@@ -73,6 +73,7 @@ class Shard:
         global_ids: np.ndarray,
         weighted: bool,
         batch_pool_size: Optional[int] = None,
+        build_backend: str = "columnar",
     ) -> None:
         self.shard_id = int(shard_id)
         # Local->global id map as a bare int64 array with amortised growth;
@@ -81,10 +82,22 @@ class Shard:
         self._id_count = int(self._global_ids.shape[0])
         self._local_of: Optional[dict[int, int]] = None
         local_dataset = dataset.subset(global_ids)
+        # With the default "columnar" backend the local tree defers its
+        # Python node graph entirely: the snapshot below is built treelessly
+        # by FlatAIT.from_arrays, and the nodes only materialise if a write
+        # batch ever needs to be replayed into this shard.
         if weighted:
-            self.tree: AIT = AWIT(local_dataset, batch_pool_size=batch_pool_size)
+            self.tree: AIT = AWIT(
+                local_dataset,
+                batch_pool_size=batch_pool_size,
+                build_backend=build_backend,
+            )
         else:
-            self.tree = AIT(local_dataset, batch_pool_size=batch_pool_size)
+            self.tree = AIT(
+                local_dataset,
+                batch_pool_size=batch_pool_size,
+                build_backend=build_backend,
+            )
         self._pending: list[DeltaOp] = []
         self._snapshot: Optional[FlatAIT] = None
         self._snapshot_tree_version = -1
@@ -116,8 +129,13 @@ class Shard:
         return self._snapshot
 
     def nbytes(self) -> int:
-        """Approximate memory footprint: tree structure plus flat snapshot."""
-        return int(self.tree.memory_bytes()) + int(self.snapshot.nbytes())
+        """Approximate memory footprint: tree structure plus flat snapshot.
+
+        Measures what the shard currently holds — a treeless (columnar
+        backend) shard that never replayed a write reports only columns plus
+        snapshot, without forcing node materialisation.
+        """
+        return int(self.tree.memory_bytes(materialise=False)) + int(self.snapshot.nbytes())
 
     def to_global(self, local_ids: np.ndarray) -> np.ndarray:
         """Map an array of shard-local interval ids to engine-global ids."""

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import AIT, AWIT, IntervalDataset, StructureStateError
+from repro import AIT, AWIT, Interval, IntervalDataset
 from repro.core.updates import height_limit
 
 
@@ -214,12 +214,36 @@ class TestRebuildAndWeightedRestrictions:
         assert tree.rebuild_count >= 2
         tree.check_invariants()
 
-    def test_awit_rejects_updates(self, weighted_dataset):
+    def test_awit_scalar_updates_route_through_bulk_path(self, weighted_dataset):
+        """Scalar AWIT insert/delete work as one-element bulk batches."""
         tree = AWIT(weighted_dataset)
-        with pytest.raises(StructureStateError):
-            tree.insert((0.0, 1.0))
-        with pytest.raises(StructureStateError):
-            tree.delete(0)
+        before = tree.total_weight((0.0, 2000.0))
+        new_id = tree.insert(Interval(0.0, 1.0, weight=7.0))
+        assert tree.total_weight((0.0, 2000.0)) == pytest.approx(before + 7.0)
+        assert new_id in set(tree.report((0.0, 1.0)).tolist())
+        # Bare pairs insert with weight 1, mirroring insert_many's default.
+        pair_id = tree.insert((0.0, 1.0))
+        assert tree.total_weight((0.0, 2000.0)) == pytest.approx(before + 8.0)
+        assert tree.delete(new_id) and tree.delete(pair_id)
+        assert not tree.delete(new_id)  # double delete reports False
+        assert tree.total_weight((0.0, 2000.0)) == pytest.approx(before)
+        tree.check_invariants()
+
+    def test_awit_scalar_updates_match_bulk_oracle(self, weighted_dataset, make_queries):
+        scalar = AWIT(weighted_dataset)
+        bulk = AWIT(weighted_dataset)
+        lefts = [5.0, 100.0, 400.0]
+        rights = [50.0, 160.0, 900.0]
+        weights = [3.0, 11.0, 0.5]
+        scalar_ids = [
+            scalar.insert(Interval(left, right, weight=w))
+            for left, right, w in zip(lefts, rights, weights)
+        ]
+        bulk_ids = bulk.insert_many(lefts, rights, weights=weights)
+        assert scalar_ids == bulk_ids.tolist()
+        for query in make_queries(weighted_dataset, count=10):
+            assert scalar.total_weight(query) == pytest.approx(bulk.total_weight(query))
+            assert set(scalar.report(query).tolist()) == set(bulk.report(query).tolist())
 
     def test_sampling_correct_after_mixed_update_sequence(self, make_random_dataset, make_queries):
         dataset = make_random_dataset(n=200, seed=20)

@@ -25,7 +25,13 @@ PAPER_IDS = {
 }
 
 #: Repo-specific experiments registered alongside the paper's tables/figures.
-EXTRA_IDS = {"throughput", "service_throughput", "update_throughput", "gateway_latency"}
+EXTRA_IDS = {
+    "throughput",
+    "service_throughput",
+    "update_throughput",
+    "gateway_latency",
+    "build_throughput",
+}
 
 EXPECTED_IDS = PAPER_IDS | EXTRA_IDS
 
@@ -82,6 +88,17 @@ class TestRegistry:
         assert all(
             row["window_ms"] > 0 for row in result.rows if row["mode"] == "gateway"
         )
+
+    def test_build_throughput_experiment_runs_end_to_end(self):
+        result = run_experiment("build_throughput", TINY)
+        assert result.experiment_id == "build_throughput"
+        assert {row["dataset"] for row in result.rows} == {"btc"}
+        assert {row["n"] for row in result.rows} == {1250, 2500}
+        for row in result.rows:
+            # Outputs are asserted bit-identical inside the experiment, so a
+            # returned row is itself evidence the two builders agreed.
+            assert row["tree_seconds"] > 0 and row["columnar_seconds"] > 0
+            assert row["speedup"] > 0
 
     def test_update_experiment_shows_batch_speedup(self):
         result = run_experiment("table7", TINY)
