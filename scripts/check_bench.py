@@ -118,6 +118,23 @@ SCHEMAS: dict[str, dict] = {
             "p95_speedup",
         },
     },
+    "BENCH_recovery.json": {
+        "top": {"config", "results"},
+        "rows": {
+            "cold_start": {
+                "n",
+                "shards",
+                "rebuild_seconds",
+                "save_seconds",
+                "open_seconds",
+                "speedup",
+                "mmap",
+                "verify",
+            },
+            "wal_replay": {"n", "ops", "replay_seconds", "ops_per_sec", "recovered_ok"},
+            "kill_recover": {"n", "acknowledged", "recovered", "ok"},
+        },
+    },
 }
 
 
@@ -228,12 +245,31 @@ def _gateway_indicators(payload: dict) -> dict[str, float]:
     return out
 
 
+def _recovery_indicators(payload: dict) -> dict[str, float]:
+    out = {
+        "cold_start_speedup": max(
+            float(row["speedup"]) for row in payload["results"]["cold_start"]
+        ),
+        # Hard invariants rather than ratios: recovery must reproduce the
+        # pre-shutdown engine exactly, and a SIGKILLed ingest must keep
+        # every acknowledged batch.
+        "recovery_consistent": 1.0
+        if (
+            all(bool(row["recovered_ok"]) for row in payload["results"]["wal_replay"])
+            and all(bool(row["ok"]) for row in payload["results"]["kill_recover"])
+        )
+        else 0.0,
+    }
+    return out
+
+
 INDICATORS = {
     "BENCH_throughput.json": _throughput_indicators,
     "BENCH_service.json": _service_indicators,
     "BENCH_updates.json": _updates_indicators,
     "BENCH_gateway.json": _gateway_indicators,
     "BENCH_build.json": _build_indicators,
+    "BENCH_recovery.json": _recovery_indicators,
 }
 
 

@@ -53,6 +53,7 @@ DOCTEST_MODULES: tuple[str, ...] = (
     "repro.service.executor",
     "repro.service.gateway",
     "repro.service.metrics",
+    "repro.persist.faults",
 )
 
 #: Markdown files whose links and python snippets are checked.

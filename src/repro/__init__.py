@@ -25,6 +25,7 @@ from .core import (
     EmptyDatasetError,
     EmptyResultError,
     FlatAIT,
+    GatewayClosedError,
     Interval,
     IntervalDataset,
     IntervalIndex,
@@ -33,15 +34,19 @@ from .core import (
     InvalidWeightError,
     ListKind,
     NodeRecord,
+    PersistenceError,
     ReproError,
     SamplingIndex,
+    SnapshotCorruptError,
     StructureStateError,
     UnsupportedOperationError,
+    WALCorruptError,
 )
+from .persist import DeltaLog
 from .sampling import AliasTable, CumulativeSampler
 from .service import RequestGateway, ShardedEngine
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AIT",
@@ -50,6 +55,7 @@ __all__ = [
     "AITNode",
     "AliasTable",
     "CumulativeSampler",
+    "DeltaLog",
     "FlatAIT",
     "Interval",
     "IntervalDataset",
@@ -67,5 +73,9 @@ __all__ = [
     "EmptyResultError",
     "StructureStateError",
     "UnsupportedOperationError",
+    "GatewayClosedError",
+    "PersistenceError",
+    "SnapshotCorruptError",
+    "WALCorruptError",
     "__version__",
 ]

@@ -9,12 +9,16 @@ from .flat import FlatAIT
 from .errors import (
     EmptyDatasetError,
     EmptyResultError,
+    GatewayClosedError,
     InvalidIntervalError,
     InvalidQueryError,
     InvalidWeightError,
+    PersistenceError,
     ReproError,
+    SnapshotCorruptError,
     StructureStateError,
     UnsupportedOperationError,
+    WALCorruptError,
 )
 from .interval import Interval
 from .node import AITNode
@@ -44,4 +48,8 @@ __all__ = [
     "EmptyResultError",
     "StructureStateError",
     "UnsupportedOperationError",
+    "GatewayClosedError",
+    "PersistenceError",
+    "SnapshotCorruptError",
+    "WALCorruptError",
 ]

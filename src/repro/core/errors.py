@@ -16,6 +16,10 @@ __all__ = [
     "EmptyResultError",
     "StructureStateError",
     "UnsupportedOperationError",
+    "GatewayClosedError",
+    "PersistenceError",
+    "SnapshotCorruptError",
+    "WALCorruptError",
 ]
 
 
@@ -49,3 +53,28 @@ class StructureStateError(ReproError, RuntimeError):
 
 class UnsupportedOperationError(ReproError, NotImplementedError):
     """The requested operation is not supported by this structure."""
+
+
+class GatewayClosedError(StructureStateError):
+    """A request was submitted to a :class:`RequestGateway` after ``close()``.
+
+    Subclasses :class:`StructureStateError` (and therefore ``RuntimeError``),
+    so pre-existing ``except RuntimeError`` handlers keep working.
+    """
+
+
+class PersistenceError(ReproError, OSError):
+    """Base class for durability-layer failures (snapshots, write-ahead logs)."""
+
+
+class SnapshotCorruptError(PersistenceError):
+    """A snapshot file failed validation (bad magic, header, or array checksum)."""
+
+
+class WALCorruptError(PersistenceError):
+    """A write-ahead log's *header* is unreadable.
+
+    Torn or truncated record *tails* are expected after a crash and are never
+    reported as errors — recovery stops at the first bad record checksum and
+    keeps everything before it (see :meth:`repro.persist.DeltaLog.scan`).
+    """

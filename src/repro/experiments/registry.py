@@ -10,6 +10,7 @@ from .report import ExperimentResult
 from . import (
     exp_build_throughput,
     exp_gateway_latency,
+    exp_recovery,
     exp_service_throughput,
     exp_throughput,
     exp_update_throughput,
@@ -82,6 +83,11 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
         "build_throughput",
         "Full-build time: treeless columnar builder vs tree walk (extends Table III)",
         exp_build_throughput.run,
+    ),
+    "recovery": ExperimentEntry(
+        "recovery",
+        "Recovery: snapshot cold start vs rebuild, WAL replay throughput",
+        exp_recovery.run,
     ),
 }
 

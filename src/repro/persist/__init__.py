@@ -1,0 +1,46 @@
+"""Durability layer: checksummed snapshots, write-ahead logs, crash recovery.
+
+Three cooperating pieces (see ``docs/ARCHITECTURE.md`` § Durability):
+
+* **Snapshots** (:mod:`repro.persist.snapshot`) — versioned, page-aligned,
+  per-array-checksummed containers.  ``FlatAIT.save/load`` persist one flat
+  index (mmap-backed, lazy page-in on load);
+  :func:`~repro.persist.durable.save_engine_snapshot` /
+  :func:`~repro.persist.durable.open_engine` (surfaced as
+  ``ShardedEngine.save_snapshot`` / ``ShardedEngine.open``) checkpoint a
+  whole engine as an epoch of files committed by a manifest rename.
+* **Write-ahead log** (:mod:`repro.persist.wal`) — :class:`DeltaLog`
+  journals every buffered write batch before it enters a shard's in-memory
+  delta log, with a configurable fsync policy; recovery replays the log
+  chain on top of the newest valid snapshot, tolerating torn tails.
+* **Fault injection** (:mod:`repro.persist.faults`, :mod:`repro.persist.harness`)
+  — deterministic partial-write/corruption wrappers and the SIGKILL
+  kill-and-recover harness that verifies the acknowledged => recovered
+  contract end to end.
+"""
+
+from .checksum import CHECKSUM_ALGORITHM, checksum, resolve_checksum
+from .durable import open_engine, save_engine_snapshot, snapshot_epochs
+from .faults import FaultInjector, FaultyFile, WriteFault, flip_byte, truncate_file
+from .snapshot import load_arrays, load_flat, save_arrays, save_flat
+from .wal import FSYNC_POLICIES, DeltaLog
+
+__all__ = [
+    "CHECKSUM_ALGORITHM",
+    "checksum",
+    "resolve_checksum",
+    "save_arrays",
+    "load_arrays",
+    "save_flat",
+    "load_flat",
+    "DeltaLog",
+    "FSYNC_POLICIES",
+    "save_engine_snapshot",
+    "open_engine",
+    "snapshot_epochs",
+    "FaultInjector",
+    "FaultyFile",
+    "WriteFault",
+    "flip_byte",
+    "truncate_file",
+]

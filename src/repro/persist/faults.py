@@ -1,0 +1,196 @@
+"""Fault injection for the durability layer.
+
+The recovery guarantees in :mod:`repro.persist` are claims about what
+survives *partial* I/O — a write that dies halfway, a tail that never made
+it to disk, a page that came back flipped.  This module makes those
+situations reproducible in-process:
+
+* :class:`FaultyFile` wraps a real file object and injects faults at exact
+  byte offsets: fail the write that crosses byte ``N``, silently drop
+  everything past ``N`` (a torn tail), or serve short reads.
+* :class:`FaultInjector` is an ``open``-compatible factory of
+  :class:`FaultyFile` objects — pass it as the ``opener`` argument of
+  :func:`~repro.persist.snapshot.save_arrays` or
+  :class:`~repro.persist.wal.DeltaLog` to aim faults at a specific file.
+* :func:`flip_byte` / :func:`truncate_file` corrupt files *after* the fact,
+  simulating media errors and torn tails on already-written data.
+
+Everything here is deterministic — no RNG, no timing — so every fault test
+is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["FaultyFile", "FaultInjector", "WriteFault", "flip_byte", "truncate_file"]
+
+
+class WriteFault(OSError):
+    """The injected I/O error raised by :class:`FaultyFile` writes."""
+
+
+class FaultyFile:
+    """A file wrapper that injects write/read faults at byte offsets.
+
+    Parameters
+    ----------
+    handle:
+        The real (binary) file object being wrapped.
+    fail_write_at:
+        Total written-byte offset at which writes start failing.  The write
+        that crosses the offset writes the prefix up to it (modelling a
+        torn sector) and then raises :class:`WriteFault`; later writes fail
+        immediately.
+    torn_after:
+        Like ``fail_write_at`` but *silent*: bytes past the offset are
+        dropped without an error, as if the process died before the page
+        reached disk.  The writer believes the write succeeded.
+    short_read_at:
+        Total read-byte offset after which ``read()`` returns empty results,
+        modelling a file that is shorter than its metadata claims.
+    """
+
+    def __init__(self, handle, fail_write_at: int | None = None,
+                 torn_after: int | None = None, short_read_at: int | None = None) -> None:
+        self._handle = handle
+        self._fail_write_at = fail_write_at
+        self._torn_after = torn_after
+        self._short_read_at = short_read_at
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- write path ----------------------------------------------------- #
+    def write(self, data) -> int:
+        data = bytes(data)
+        length = len(data)
+        if self._fail_write_at is not None:
+            if self.bytes_written >= self._fail_write_at:
+                raise WriteFault(f"injected write failure at byte {self.bytes_written}")
+            if self.bytes_written + length > self._fail_write_at:
+                keep = self._fail_write_at - self.bytes_written
+                self._handle.write(data[:keep])
+                self.bytes_written += keep
+                raise WriteFault(f"injected write failure at byte {self._fail_write_at}")
+        if self._torn_after is not None:
+            if self.bytes_written >= self._torn_after:
+                self.bytes_written += length  # silently dropped
+                return length
+            if self.bytes_written + length > self._torn_after:
+                keep = self._torn_after - self.bytes_written
+                self._handle.write(data[:keep])
+                self.bytes_written += length
+                return length
+        self._handle.write(data)
+        self.bytes_written += length
+        return length
+
+    # -- read path ------------------------------------------------------ #
+    def read(self, size: int = -1) -> bytes:
+        if self._short_read_at is not None:
+            budget = self._short_read_at - self.bytes_read
+            if budget <= 0:
+                return b""
+            if size < 0 or size > budget:
+                size = budget
+        data = self._handle.read(size)
+        self.bytes_read += len(data)
+        return data
+
+    # -- passthrough ---------------------------------------------------- #
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        return self._handle.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._handle.tell()
+
+    def truncate(self, size: int | None = None) -> int:
+        return self._handle.truncate(size)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class FaultInjector:
+    """An ``open``-compatible factory that wraps matching files in faults.
+
+    Parameters mirror :class:`FaultyFile`; ``match`` is an optional
+    substring filter on the path, so one injector can target just the WAL
+    (or just one shard's snapshot) while other files open normally.  Only
+    the first ``limit`` matching opens are faulted (default: all).
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> injector = FaultInjector(fail_write_at=4)
+    >>> path = os.path.join(tempfile.mkdtemp(), "x.bin")
+    >>> f = injector(path, "wb")
+    >>> try:
+    ...     f.write(b"0123456789")
+    ... except WriteFault:
+    ...     print("faulted")
+    ... finally:
+    ...     f.close()
+    faulted
+    >>> os.path.getsize(path)
+    4
+    """
+
+    def __init__(self, fail_write_at: int | None = None, torn_after: int | None = None,
+                 short_read_at: int | None = None, match: str = "",
+                 limit: int | None = None) -> None:
+        self._fail_write_at = fail_write_at
+        self._torn_after = torn_after
+        self._short_read_at = short_read_at
+        self._match = match
+        self._limit = limit
+        self.faulted_opens = 0
+        self.total_opens = 0
+
+    def __call__(self, path, mode: str = "rb", *args, **kwargs):
+        self.total_opens += 1
+        handle = open(path, mode, *args, **kwargs)
+        if self._match and self._match not in os.fspath(path):
+            return handle
+        if self._limit is not None and self.faulted_opens >= self._limit:
+            return handle
+        self.faulted_opens += 1
+        return FaultyFile(
+            handle,
+            fail_write_at=self._fail_write_at,
+            torn_after=self._torn_after,
+            short_read_at=self._short_read_at,
+        )
+
+
+def flip_byte(path, offset: int, mask: int = 0xFF) -> None:
+    """XOR one byte of an existing file (simulated media corruption)."""
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(1)
+        if not original:
+            raise ValueError(f"offset {offset} is past the end of {os.fspath(path)}")
+        handle.seek(offset)
+        handle.write(bytes([original[0] ^ mask]))
+
+
+def truncate_file(path, keep_bytes: int) -> None:
+    """Chop a file to ``keep_bytes`` (simulated torn tail on existing data)."""
+    with open(path, "r+b") as handle:
+        handle.truncate(keep_bytes)

@@ -129,6 +129,10 @@ class ShardedEngine:
         self._build_backend = build_backend
         self._parallel_refresh = bool(parallel_refresh)
         self._executor, self._owns_executor = resolve_executor(executor)
+        # Durability attachment (populated by save_snapshot / open).
+        self._persist_dir: Optional[str] = None
+        self._persist_epoch = 0
+        self._wal_fsync: Optional[str] = None
 
         def build_shard(item: tuple[int, np.ndarray]) -> Shard:
             index, ids = item
@@ -270,18 +274,122 @@ class ShardedEngine:
         use_parallel = self._parallel_refresh if parallel is None else bool(parallel)
         pending = [shard for shard in self._shards if shard.pending_ops]
         if use_parallel and len(pending) > 1:
-            # list(): force a lazy executor map to complete before versions()
-            # reads the refreshed state.
-            list(self._executor.map(lambda shard: shard.refresh(), pending))
+
+            def guarded(shard: Shard) -> Optional[Exception]:
+                try:
+                    shard.refresh()
+                    return None
+                except Exception as exc:  # surfaced below, once every shard settled
+                    return exc
+
+            try:
+                # list(): force a lazy executor map to complete before
+                # versions() reads the refreshed state.
+                results = list(self._executor.map(guarded, pending))
+            except Exception:
+                # The executor itself failed mid-fan-out (not a shard task).
+                # Finish the sweep serially so no shard is left behind with
+                # buffered writes, then surface the executor error: callers
+                # see an exception, never a half-refreshed engine.
+                for shard in pending:
+                    if shard.pending_ops:
+                        shard.refresh()
+                raise
+            for shard, error in zip(pending, results):
+                if error is not None:
+                    # Every other shard has settled; the failing shard kept
+                    # its delta log (refresh clears it only after a full
+                    # replay), so per-shard versions are consistent and the
+                    # failure is retryable.
+                    raise error
         else:
             for shard in pending:
                 shard.refresh()
         return self.versions()
 
     def close(self) -> None:
-        """Shut down the executor if this engine created it."""
+        """Flush and close any write-ahead logs; shut down an owned executor.
+
+        Graceful shutdown fsyncs each shard's WAL, so every buffered write —
+        acknowledged or not — survives into the next :meth:`open`.
+        Idempotent.
+        """
+        for shard in self._shards:
+            if shard.wal is not None:
+                shard.wal.close()
         if self._owns_executor:
             self._executor.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+    @property
+    def snapshot_dir(self) -> Optional[str]:
+        """Directory this engine checkpoints to, or None when not attached."""
+        return self._persist_dir
+
+    @property
+    def snapshot_epoch(self) -> int:
+        """Epoch of the newest snapshot/WAL generation this engine is on."""
+        return self._persist_epoch
+
+    def save_snapshot(self, directory=None, fsync: bool = True, retain: int = 2) -> int:
+        """Checkpoint the whole engine to ``directory``; return the new epoch.
+
+        Folds every buffered write into fresh per-shard snapshot files,
+        writes the engine state, rotates the write-ahead logs, and commits
+        the epoch with an atomic manifest rename (see
+        :mod:`repro.persist.durable`).  ``directory`` defaults to the
+        directory the engine is already attached to.  ``retain`` older
+        epochs are kept as fallbacks; the rest are garbage-collected.
+        """
+        from ..persist.durable import save_engine_snapshot
+
+        return save_engine_snapshot(self, directory, fsync=fsync, retain=retain)
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        mmap: bool = True,
+        verify: bool = True,
+        fsync: str = "batch",
+        executor=None,
+        parallel_refresh: bool = False,
+        batch_pool_size: Optional[int] = None,
+    ) -> "ShardedEngine":
+        """Restore an engine from its newest valid snapshot epoch + WAL chain.
+
+        ``mmap=True`` (default) maps the snapshot arrays read-only with lazy
+        page-in — opening a million-interval engine costs a header parse,
+        not a rebuild.  ``verify=True`` checks every array checksum.
+        ``fsync`` is the durability policy for the write-ahead logs this
+        engine will append to.  Recovered-but-unapplied WAL writes sit in
+        the shards' delta logs and fold in at the first batch boundary.
+        """
+        from ..persist.durable import open_engine
+
+        return open_engine(
+            cls,
+            directory,
+            mmap=mmap,
+            verify=verify,
+            fsync=fsync,
+            executor=executor,
+            parallel_refresh=parallel_refresh,
+            batch_pool_size=batch_pool_size,
+        )
+
+    def sync_wal(self) -> None:
+        """fsync every shard's write-ahead log (no-op without WALs).
+
+        Under the ``"batch"`` fsync policy this is the acknowledgement
+        barrier: the gateway calls it once per micro-batch, after the write
+        dispatch and before completing the write futures.
+        """
+        for shard in self._shards:
+            if shard.wal is not None:
+                shard.wal.sync()
 
     def __enter__(self) -> "ShardedEngine":
         return self

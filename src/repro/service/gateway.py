@@ -52,7 +52,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.errors import InvalidIntervalError, InvalidQueryError
+from ..core.errors import GatewayClosedError, InvalidIntervalError, InvalidQueryError
 from ..core.flat import FlatAIT
 from ..core.interval import Interval, validate_endpoints
 from ..core.query import QueryLike, validate_sample_size
@@ -192,8 +192,11 @@ class RequestGateway:
         """Stop accepting requests, flush everything queued, join the dispatcher.
 
         Pending futures are *completed*, not cancelled: the dispatcher
-        drains the queue into final micro-batches before exiting.
-        Idempotent; submits after close raise :class:`RuntimeError`.
+        drains the queue into final micro-batches before exiting, and any
+        engine write-ahead log is fsynced before close returns — every
+        acknowledged write is durable by the time the caller regains
+        control.  Idempotent; submits after close raise
+        :class:`~repro.core.errors.GatewayClosedError`.
         """
         with self._close_lock:
             if self._closed:
@@ -204,6 +207,7 @@ class RequestGateway:
             self._dispatcher.join(timeout)
         else:
             self._drain_all()
+        self._sync_writes()
 
     def __enter__(self) -> "RequestGateway":
         return self
@@ -225,7 +229,7 @@ class RequestGateway:
         batch.
         """
         if self._closed:
-            raise RuntimeError("gateway is closed")  # fast path; re-checked at enqueue
+            raise GatewayClosedError("gateway is closed")  # fast path; re-checked at enqueue
         if op in ("count", "total_weight", "report"):
             (query,) = args
             payload = (self._coerce_query(query),)
@@ -260,7 +264,7 @@ class RequestGateway:
         # exited — which would strand the future forever.
         with self._close_lock:
             if self._closed:
-                raise RuntimeError("gateway is closed")
+                raise GatewayClosedError("gateway is closed")
             self._metrics.record_request(op)
             self._queue.put(request)
         return request.future
@@ -501,21 +505,38 @@ class RequestGateway:
         self._dispatch_samples([request], sample_size, on_empty)
 
     # Write dispatch ----------------------------------------------------- #
+    def _sync_writes(self) -> None:
+        """Durability barrier: fsync the engine's write-ahead logs (if any).
+
+        Runs after every write dispatch, *before* the write futures
+        complete — under the WAL's ``"batch"`` fsync policy this is exactly
+        what makes a completed write future an acknowledged-durable write.
+        """
+        sync = getattr(self._engine, "sync_wal", None)
+        if sync is not None:
+            sync()
+
     def _dispatch_inserts(self, requests: list[_Request]) -> None:
         lefts = [request.payload[0][0] for request in requests]
         rights = [request.payload[0][1] for request in requests]
         ids = self._engine.insert_many(lefts, rights)
+        self._sync_writes()
         for request, new_id in zip(requests, ids):
             self._finish(request, int(new_id))
 
     def _scalar_insert(self, request: _Request) -> None:
         left, right = request.payload[0]
-        self._finish(request, int(self._engine.insert_many([left], [right])[0]))
+        new_id = int(self._engine.insert_many([left], [right])[0])
+        self._sync_writes()
+        self._finish(request, new_id)
 
     def _dispatch_deletes(self, requests: list[_Request]) -> None:
         flags = self._engine.delete_many([request.payload[0] for request in requests])
+        self._sync_writes()
         for request, flag in zip(requests, flags):
             self._finish(request, bool(flag))
 
     def _scalar_delete(self, request: _Request) -> None:
-        self._finish(request, bool(self._engine.delete_many([request.payload[0]])[0]))
+        flag = bool(self._engine.delete_many([request.payload[0]])[0])
+        self._sync_writes()
+        self._finish(request, flag)

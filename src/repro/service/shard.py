@@ -56,6 +56,7 @@ class Shard:
     __slots__ = (
         "shard_id",
         "tree",
+        "wal",
         "_global_ids",
         "_id_count",
         "_local_of",
@@ -99,10 +100,46 @@ class Shard:
                 build_backend=build_backend,
             )
         self._pending: list[DeltaOp] = []
+        #: Optional write-ahead log (:class:`repro.persist.DeltaLog`); when
+        #: set, every buffered batch is journaled durably *before* joining
+        #: the in-memory delta log.
+        self.wal = None
         self._snapshot: Optional[FlatAIT] = None
         self._snapshot_tree_version = -1
         self._version = 0
         self.refresh()
+
+    @classmethod
+    def restore(
+        cls,
+        shard_id: int,
+        tree: AIT,
+        snapshot: FlatAIT,
+        global_ids: np.ndarray,
+        version: int = 1,
+    ) -> "Shard":
+        """Reassemble a shard from persisted state without rebuilding anything.
+
+        Used by :func:`repro.persist.durable.open_engine`: ``tree`` is the
+        restored local tree (node graph deferred), ``snapshot`` the loaded —
+        typically mmap-backed — :class:`FlatAIT` it serves queries from, and
+        ``global_ids`` the saved local->global id map.  The delta log starts
+        empty; recovered WAL records are re-buffered afterwards and fold in
+        through the normal :meth:`refresh`.
+        """
+        shard = cls.__new__(cls)
+        shard.shard_id = int(shard_id)
+        shard.tree = tree
+        shard.wal = None
+        shard._global_ids = np.asarray(global_ids, dtype=np.int64).copy()
+        shard._id_count = int(shard._global_ids.shape[0])
+        shard._local_of = None
+        shard._pending = []
+        shard._snapshot = snapshot
+        shard._snapshot_tree_version = tree.structure_version
+        shard._global_map = shard._global_ids[: shard._id_count]
+        shard._version = int(version)
+        return shard
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -195,21 +232,27 @@ class Shard:
     def buffer_insert_many(
         self, global_ids: np.ndarray, lefts: np.ndarray, rights: np.ndarray
     ) -> None:
-        """Append a whole insertion batch to the delta log as one bulk op."""
+        """Append a whole insertion batch to the delta log as one bulk op.
+
+        With a write-ahead log attached the batch is journaled durably
+        first — write-ahead ordering: if the record is not on disk (per the
+        log's fsync policy), the write is not in memory either.
+        """
         if global_ids.shape[0]:
-            self._pending.append(
-                (
-                    "insert_many",
-                    np.asarray(global_ids, dtype=np.int64),
-                    np.asarray(lefts, dtype=np.float64),
-                    np.asarray(rights, dtype=np.float64),
-                )
-            )
+            gids = np.asarray(global_ids, dtype=np.int64)
+            lefts_arr = np.asarray(lefts, dtype=np.float64)
+            rights_arr = np.asarray(rights, dtype=np.float64)
+            if self.wal is not None:
+                self.wal.append_insert(gids, lefts_arr, rights_arr)
+            self._pending.append(("insert_many", gids, lefts_arr, rights_arr))
 
     def buffer_delete_many(self, global_ids: np.ndarray) -> None:
         """Append a whole deletion batch to the delta log as one bulk op."""
         if global_ids.shape[0]:
-            self._pending.append(("delete_many", np.asarray(global_ids, dtype=np.int64)))
+            gids = np.asarray(global_ids, dtype=np.int64)
+            if self.wal is not None:
+                self.wal.append_delete(gids)
+            self._pending.append(("delete_many", gids))
 
     def _replay_insert_run(
         self, global_ids: list[np.ndarray], lefts: list[np.ndarray], rights: list[np.ndarray]

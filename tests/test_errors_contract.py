@@ -1,0 +1,229 @@
+"""Contract tests for the public exception hierarchy.
+
+Every validation error exported from ``repro.core.errors`` is exercised here:
+one parametrised case per raise site, asserting both the exception *type* and
+the *message* so error-handling code downstream can rely on them.  The
+hierarchy tests pin the dual-inheritance contract (each domain error also
+derives from the matching builtin) that lets callers catch either the repro
+type or the builtin they already handle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AIT,
+    EmptyDatasetError,
+    EmptyResultError,
+    GatewayClosedError,
+    Interval,
+    IntervalDataset,
+    InvalidIntervalError,
+    InvalidQueryError,
+    InvalidWeightError,
+    PersistenceError,
+    ReproError,
+    RequestGateway,
+    ShardedEngine,
+    SnapshotCorruptError,
+    StructureStateError,
+    UnsupportedOperationError,
+    WALCorruptError,
+)
+from repro.core.query import coerce_query, coerce_query_batch, validate_sample_size
+
+
+def _dataset(n: int = 8) -> IntervalDataset:
+    lefts = np.arange(n, dtype=np.float64)
+    return IntervalDataset(lefts, lefts + 2.0)
+
+
+# --------------------------------------------------------------------------- #
+# hierarchy
+# --------------------------------------------------------------------------- #
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        ("exc_type", "builtin"),
+        [
+            (InvalidIntervalError, ValueError),
+            (InvalidQueryError, ValueError),
+            (InvalidWeightError, ValueError),
+            (EmptyDatasetError, ValueError),
+            (EmptyResultError, LookupError),
+            (StructureStateError, RuntimeError),
+            (UnsupportedOperationError, NotImplementedError),
+            (GatewayClosedError, RuntimeError),
+            (PersistenceError, OSError),
+            (SnapshotCorruptError, OSError),
+            (WALCorruptError, OSError),
+        ],
+    )
+    def test_dual_inheritance(self, exc_type, builtin):
+        assert issubclass(exc_type, ReproError)
+        assert issubclass(exc_type, builtin)
+
+    def test_gateway_closed_is_structure_state(self):
+        # Pre-1.4 callers caught StructureStateError/RuntimeError on a closed
+        # gateway; GatewayClosedError must remain catchable that way.
+        assert issubclass(GatewayClosedError, StructureStateError)
+
+    def test_persistence_errors_refine_persistence_error(self):
+        assert issubclass(SnapshotCorruptError, PersistenceError)
+        assert issubclass(WALCorruptError, PersistenceError)
+
+
+# --------------------------------------------------------------------------- #
+# query validation (coerce_query / coerce_query_batch / validate_sample_size)
+# --------------------------------------------------------------------------- #
+class TestQueryValidation:
+    @pytest.mark.parametrize(
+        ("query", "match"),
+        [
+            ((5.0, 1.0), r"left endpoint must not exceed right endpoint"),
+            ((float("nan"), 1.0), r"endpoints must be finite"),
+            ((0.0, float("inf")), r"endpoints must be finite"),
+            (("a", "b"), r"endpoints must be numbers"),
+            (object(), r"must be an Interval or a \(left, right\) pair"),
+            ((1.0, 2.0, 3.0), r"must be an Interval or a \(left, right\) pair"),
+        ],
+    )
+    def test_coerce_query(self, query, match):
+        with pytest.raises(InvalidQueryError, match=match):
+            coerce_query(query)
+
+    def test_coerce_query_batch_bad_dtype(self):
+        bad = np.array([["a", "b"]], dtype=object)
+        with pytest.raises(InvalidQueryError, match=r"numeric endpoints, got dtype"):
+            coerce_query_batch(bad)
+
+    def test_coerce_query_batch_inverted_row_reports_detail(self):
+        batch = np.array([[0.0, 1.0], [9.0, 2.0]])
+        with pytest.raises(InvalidQueryError, match=r"must not exceed right endpoint"):
+            coerce_query_batch(batch)
+
+    @pytest.mark.parametrize(
+        ("size", "match"),
+        [
+            (-1, r"must be non-negative"),
+            (1.5, r"must be an integer"),
+            ("three", r"must be an integer"),
+        ],
+    )
+    def test_validate_sample_size(self, size, match):
+        with pytest.raises(InvalidQueryError, match=match):
+            validate_sample_size(size)
+
+
+# --------------------------------------------------------------------------- #
+# interval / dataset construction
+# --------------------------------------------------------------------------- #
+class TestIntervalValidation:
+    def test_interval_inverted(self):
+        with pytest.raises(InvalidIntervalError, match=r"must not exceed right endpoint"):
+            Interval(2.0, 1.0)
+
+    def test_interval_nonfinite(self):
+        with pytest.raises(InvalidIntervalError, match=r"must be finite"):
+            Interval(float("nan"), 1.0)
+
+    def test_interval_negative_weight(self):
+        with pytest.raises(InvalidWeightError, match=r"finite and non-negative"):
+            Interval(0.0, 1.0, weight=-1.0)
+
+    @pytest.mark.parametrize(
+        ("lefts", "rights", "weights", "exc_type", "match"),
+        [
+            ([1.0, 2.0], [3.0], None, InvalidIntervalError, r"equal length"),
+            ([[1.0]], [[2.0]], None, InvalidIntervalError, r"one-dimensional"),
+            ([2.0], [1.0], None, InvalidIntervalError, r"left endpoint 2.0 > right endpoint"),
+            ([float("nan")], [1.0], None, InvalidIntervalError, r"must be finite"),
+            ([0.0], [1.0], [1.0, 2.0], InvalidWeightError, r"same length as the endpoints"),
+            ([0.0], [1.0], [-1.0], InvalidWeightError, r"finite and non-negative"),
+            ([0.0], [1.0], [float("inf")], InvalidWeightError, r"finite and non-negative"),
+        ],
+    )
+    def test_dataset_construction(self, lefts, rights, weights, exc_type, match):
+        with pytest.raises(exc_type, match=match):
+            IntervalDataset(lefts, rights, weights=weights)
+
+    def test_empty_dataset_domain(self):
+        with pytest.raises(EmptyDatasetError, match=r"domain\(\) of an empty dataset"):
+            IntervalDataset([], []).domain()
+
+    def test_empty_dataset_index_build(self):
+        with pytest.raises(EmptyDatasetError, match=r"non-empty"):
+            AIT(IntervalDataset([], []))
+
+
+# --------------------------------------------------------------------------- #
+# tree update validation
+# --------------------------------------------------------------------------- #
+class TestTreeUpdateValidation:
+    def test_insert_malformed(self):
+        tree = AIT(_dataset())
+        with pytest.raises(InvalidIntervalError, match=r"insert expects an Interval"):
+            tree.insert(object())
+
+    def test_insert_inverted(self):
+        tree = AIT(_dataset())
+        with pytest.raises(InvalidIntervalError, match=r"must not exceed right endpoint"):
+            tree.insert((5.0, 1.0))
+
+    def test_insert_many_ragged(self):
+        tree = AIT(_dataset())
+        with pytest.raises(InvalidIntervalError, match=r"equally long columns"):
+            tree.insert_many([0.0], [1.0, 2.0])
+
+    def test_insert_many_nonfinite(self):
+        tree = AIT(_dataset())
+        with pytest.raises(InvalidIntervalError, match=r"must be finite.*at position 1"):
+            tree.insert_many([0.0, float("nan")], [1.0, 2.0])
+
+
+# --------------------------------------------------------------------------- #
+# engine / gateway state errors
+# --------------------------------------------------------------------------- #
+class TestServiceStateErrors:
+    def test_weighted_engine_rejects_insert(self):
+        data = IntervalDataset([0.0, 1.0], [2.0, 3.0], weights=[1.0, 2.0])
+        engine = ShardedEngine(data, num_shards=2)
+        try:
+            with pytest.raises(StructureStateError, match=r"weighted engines are static"):
+                engine.insert_many([0.0], [1.0])
+            with pytest.raises(StructureStateError, match=r"weighted engines are static"):
+                engine.delete_many([0])
+        finally:
+            engine.close()
+
+    def test_shard_of_unknown_id(self):
+        engine = ShardedEngine(_dataset(), num_shards=2)
+        try:
+            with pytest.raises(KeyError, match=r"never assigned"):
+                engine.shard_of(10**9)
+        finally:
+            engine.close()
+
+    def test_sample_many_empty_result_raises(self):
+        engine = ShardedEngine(_dataset(), num_shards=2)
+        try:
+            with pytest.raises(EmptyResultError, match=r"matched no intervals"):
+                engine.sample_many(
+                    np.array([[1e6, 1e6 + 1.0]]), 4, on_empty="raise", random_state=0
+                )
+        finally:
+            engine.close()
+
+    def test_gateway_submit_after_close(self):
+        with ShardedEngine(_dataset(), num_shards=2) as engine:
+            gateway = RequestGateway(engine, max_wait_ms=1.0)
+            gateway.close()
+            with pytest.raises(GatewayClosedError, match=r"gateway is closed"):
+                gateway.submit("count", (0.0, 5.0))
+
+    def test_gateway_malformed_query(self):
+        with ShardedEngine(_dataset(), num_shards=2) as engine:
+            with RequestGateway(engine, max_wait_ms=1.0) as gateway:
+                with pytest.raises(InvalidQueryError, match=r"Interval or a \(left, right\) pair"):
+                    gateway.submit("count", object())

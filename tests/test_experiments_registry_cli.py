@@ -31,6 +31,7 @@ EXTRA_IDS = {
     "update_throughput",
     "gateway_latency",
     "build_throughput",
+    "recovery",
 }
 
 EXPECTED_IDS = PAPER_IDS | EXTRA_IDS
@@ -99,6 +100,17 @@ class TestRegistry:
             # returned row is itself evidence the two builders agreed.
             assert row["tree_seconds"] > 0 and row["columnar_seconds"] > 0
             assert row["speedup"] > 0
+
+    def test_recovery_experiment_runs_end_to_end(self):
+        result = run_experiment("recovery", TINY)
+        assert result.experiment_id == "recovery"
+        assert {row["shards"] for row in result.rows} == {1, 4}
+        for row in result.rows:
+            # Recovery must reproduce the pre-shutdown engine exactly; the
+            # timing columns are only required to be well-formed at tiny sizes.
+            assert row["consistent"] is True
+            assert row["rebuild_s"] > 0 and row["open_s"] > 0
+            assert row["wal_ops"] > 0 and row["wal_ops_per_sec"] > 0
 
     def test_update_experiment_shows_batch_speedup(self):
         result = run_experiment("table7", TINY)

@@ -22,7 +22,12 @@ import numpy as np
 import pytest
 
 from repro import AIT, IntervalDataset
-from repro.core.errors import EmptyResultError, InvalidIntervalError, InvalidQueryError
+from repro.core.errors import (
+    EmptyResultError,
+    GatewayClosedError,
+    InvalidIntervalError,
+    InvalidQueryError,
+)
 from repro.service import GatewayMetrics, RequestGateway, ShardedEngine
 
 
@@ -232,3 +237,59 @@ class TestValidationAndLifecycle:
             assert summary["count"] == 1
             assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
             assert summary["max_ms"] > 0
+
+
+class TestCloseDurability:
+    """Lifecycle contract added with the durability layer (v1.4)."""
+
+    def test_submit_after_close_raises_gateway_closed(self, engine):
+        gateway = RequestGateway(engine, max_wait_ms=1.0)
+        gateway.close()
+        with pytest.raises(GatewayClosedError, match=r"gateway is closed"):
+            gateway.submit("count", (0.0, 10.0))
+        # pre-1.4 callers caught RuntimeError; the new type must still match
+        with pytest.raises(RuntimeError):
+            gateway.count((0.0, 10.0), timeout=1)
+
+    def test_close_during_concurrent_submits_never_drops_futures(self, engine):
+        gateway = RequestGateway(engine, max_wait_ms=1.0)
+        futures, rejected = [], []
+
+        def client(base):
+            for i in range(20):
+                try:
+                    futures.append(gateway.submit("insert", (base + i, base + i + 1.0)))
+                except GatewayClosedError:
+                    rejected.append(i)
+                    return
+
+        threads = [threading.Thread(target=client, args=(k * 100.0,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        gateway.close()
+        for t in threads:
+            t.join()
+        # every accepted future resolved (no hangs, no drops); rejects raised cleanly
+        ids = [f.result(timeout=5) for f in futures]
+        assert len(ids) == len(set(ids))
+
+    def test_close_with_inflight_writes_is_durable(self, dataset, tmp_path):
+        """Writes acknowledged before close() survive a reopen (WAL ordering)."""
+        directory = str(tmp_path / "gateway-close")
+        engine = ShardedEngine(dataset, num_shards=2)
+        engine.refresh()
+        engine.save_snapshot(directory)
+        # long max_wait: requests queue up and are drained by close() itself
+        gateway = RequestGateway(engine, max_batch_size=4, max_wait_ms=200.0)
+        futures = [
+            gateway.submit("insert", (float(i), float(i) + 1.0)) for i in range(24)
+        ]
+        gateway.close()
+        ids = [f.result(timeout=0) for f in futures]
+        assert len(set(ids)) == 24
+        engine.close()
+
+        with ShardedEngine.open(directory) as restored:
+            assert restored.size == len(dataset) + 24
+            for global_id in ids:
+                assert restored.shard_of(int(global_id)) in (0, 1)

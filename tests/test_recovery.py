@@ -1,0 +1,200 @@
+"""End-to-end durability tests: engine snapshots, WAL replay, epoch fallback."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import IntervalDataset, ShardedEngine, SnapshotCorruptError
+from repro.persist import DeltaLog, flip_byte, snapshot_epochs
+from repro.persist.snapshot import read_header
+
+
+def _queries(count=40, seed=2, domain=1000.0, extent=60.0):
+    rng = np.random.default_rng(seed)
+    lefts = rng.uniform(0.0, domain - extent, count)
+    return np.stack((lefts, lefts + extent), axis=1)
+
+
+def _engine(dataset, tmp_path=None, **kwargs):
+    engine = ShardedEngine(dataset, num_shards=kwargs.pop("num_shards", 4), **kwargs)
+    engine.refresh()
+    return engine
+
+
+@pytest.fixture
+def dataset(make_random_dataset) -> IntervalDataset:
+    return make_random_dataset(800, seed=21)
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("policy", ["round_robin", "range"])
+    def test_reopen_matches_original(self, tmp_path, dataset, policy):
+        directory = str(tmp_path / "snap")
+        queries = _queries()
+        with _engine(dataset, policy=policy) as engine:
+            want_counts = engine.count_many(queries)
+            want_size = engine.size
+            epoch = engine.save_snapshot(directory)
+            assert epoch == 1
+            assert engine.snapshot_dir == directory and engine.snapshot_epoch == 1
+
+        with ShardedEngine.open(directory) as restored:
+            assert restored.size == want_size
+            assert restored.policy == policy
+            np.testing.assert_array_equal(restored.count_many(queries), want_counts)
+            ids = restored.sample_many(queries[:3], 32, random_state=7)
+            assert all(len(s) == 32 for s in ids)
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_mmap_and_eager_loads_agree(self, tmp_path, dataset, mmap):
+        directory = str(tmp_path / "snap")
+        queries = _queries()
+        with _engine(dataset) as engine:
+            engine.save_snapshot(directory)
+            want = engine.count_many(queries)
+        with ShardedEngine.open(directory, mmap=mmap) as restored:
+            np.testing.assert_array_equal(restored.count_many(queries), want)
+
+    def test_weighted_engine_round_trip(self, tmp_path, make_random_dataset):
+        data = make_random_dataset(500, seed=13, weighted=True)
+        directory = str(tmp_path / "wsnap")
+        queries = _queries()
+        with _engine(data, num_shards=3) as engine:
+            engine.save_snapshot(directory)
+            want = engine.total_weight_many(queries)
+        with ShardedEngine.open(directory) as restored:
+            assert restored.is_weighted
+            np.testing.assert_allclose(restored.total_weight_many(queries), want)
+
+    def test_open_missing_directory_raises(self, tmp_path):
+        with pytest.raises((SnapshotCorruptError, FileNotFoundError)):
+            ShardedEngine.open(str(tmp_path / "nowhere"))
+
+
+class TestWALReplay:
+    def test_writes_after_snapshot_survive_reopen(self, tmp_path, dataset):
+        directory = str(tmp_path / "wal")
+        queries = _queries()
+
+        with _engine(dataset) as engine:
+            engine.save_snapshot(directory)
+            rng = np.random.default_rng(31)
+            lefts = rng.uniform(0.0, 900.0, 120)
+            rights = lefts + rng.exponential(30.0, 120)
+            new_ids = engine.insert_many(lefts, rights)
+            victims = np.concatenate((new_ids[:10], np.arange(5, dtype=np.int64)))
+            engine.delete_many(victims)
+            engine.sync_wal()
+            want_counts = engine.count_many(queries)
+            want_size = engine.size
+
+        # no snapshot after the writes: they must come back via WAL replay
+        with ShardedEngine.open(directory) as restored:
+            assert restored.size == want_size
+            np.testing.assert_array_equal(restored.count_many(queries), want_counts)
+            # deleted ids stay deleted; surviving new ids are queryable
+            assert restored.delete_many(victims).sum() == 0
+            assert restored.shard_of(int(new_ids[-1])) >= 0
+
+    def test_wal_records_hit_disk_before_refresh(self, tmp_path, dataset):
+        directory = str(tmp_path / "ack")
+        with _engine(dataset) as engine:
+            engine.save_snapshot(directory)
+            engine.insert_many([100.0, 200.0], [110.0, 210.0])
+            engine.sync_wal()
+            # the batch is journaled on disk even though refresh() never ran
+            logged = 0
+            for shard in engine._shards:
+                _, records, _ = DeltaLog.scan(shard.wal.path)
+                logged += sum(len(r[1]) for r in records if r[0] == "insert_many")
+            assert logged == 2
+
+    def test_reopened_engine_continues_id_assignment(self, tmp_path, dataset):
+        directory = str(tmp_path / "ids")
+        with _engine(dataset) as engine:
+            engine.save_snapshot(directory)
+            first = engine.insert_many([1.0], [2.0])
+            engine.sync_wal()
+        with ShardedEngine.open(directory) as restored:
+            second = restored.insert_many([3.0], [4.0])
+            assert int(second[0]) == int(first[0]) + 1
+            # round-robin invariant: cursor tracks the id counter
+            assert restored._rr_cursor == int(restored._next_global) % restored.num_shards
+
+    def test_snapshot_rotates_and_truncates_wal(self, tmp_path, dataset):
+        directory = str(tmp_path / "rot")
+        with _engine(dataset) as engine:
+            engine.save_snapshot(directory)
+            engine.insert_many([1.0, 2.0], [3.0, 4.0])
+            engine.sync_wal()
+            before = sum(
+                len(DeltaLog.scan(s.wal.path)[1]) for s in engine._shards
+            )
+            assert before >= 1
+            second = engine.save_snapshot(directory)
+            assert second == 2
+            # rotated epoch-2 logs start empty: the snapshot folded the writes
+            after = sum(len(DeltaLog.scan(s.wal.path)[1]) for s in engine._shards)
+            assert after == 0
+            assert all(s.wal.epoch == 2 for s in engine._shards)
+
+    def test_old_epochs_garbage_collected(self, tmp_path, dataset):
+        directory = str(tmp_path / "gc")
+        with _engine(dataset) as engine:
+            for _ in range(4):
+                engine.insert_many([1.0], [2.0])
+                engine.save_snapshot(directory, retain=2)
+            assert snapshot_epochs(directory) == [3, 4]
+            names = os.listdir(directory)
+            assert not any(name.startswith("shard-0-1.") for name in names)
+
+
+class TestEpochFallback:
+    def test_corrupt_newest_epoch_falls_back_and_replays(self, tmp_path, dataset):
+        directory = str(tmp_path / "fb")
+        queries = _queries()
+        with _engine(dataset) as engine:
+            engine.save_snapshot(directory)                      # epoch 1
+            engine.insert_many([10.0, 20.0], [15.0, 25.0])       # -> wal-1
+            engine.save_snapshot(directory)                      # epoch 2
+            engine.insert_many([30.0], [35.0])                   # -> wal-2
+            engine.sync_wal()
+            want_counts = engine.count_many(queries)
+            want_size = engine.size
+
+        # corrupt one shard snapshot of the newest epoch
+        victim = os.path.join(directory, "shard-0-2.snap")
+        _, data_start = read_header(victim)
+        flip_byte(victim, data_start + 3)
+
+        # recovery falls back to epoch 1 and replays wal-1 + wal-2
+        with ShardedEngine.open(directory) as restored:
+            assert restored.size == want_size
+            np.testing.assert_array_equal(restored.count_many(queries), want_counts)
+
+    def test_corrupt_manifest_falls_back(self, tmp_path, dataset):
+        directory = str(tmp_path / "fbm")
+        with _engine(dataset) as engine:
+            engine.save_snapshot(directory)
+            engine.save_snapshot(directory)
+            want_size = engine.size
+        manifest = os.path.join(directory, "MANIFEST-2.json")
+        with open(manifest, "w", encoding="utf-8") as handle:
+            handle.write("{ not json")
+        with ShardedEngine.open(directory) as restored:
+            assert restored.size == want_size
+
+    def test_all_epochs_corrupt_raises(self, tmp_path, dataset):
+        directory = str(tmp_path / "dead")
+        with _engine(dataset) as engine:
+            engine.save_snapshot(directory, retain=1)
+        for name in os.listdir(directory):
+            if name.startswith("shard-"):
+                path = os.path.join(directory, name)
+                _, data_start = read_header(path)
+                flip_byte(path, data_start + 1)
+        with pytest.raises(SnapshotCorruptError, match=r"no epoch passed validation"):
+            ShardedEngine.open(directory)

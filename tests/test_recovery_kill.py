@@ -1,0 +1,91 @@
+"""SIGKILL crash-recovery property test.
+
+A child process ingests deterministic write batches under ``fsync="always"``
+and acknowledges each one; the parent kills it with SIGKILL mid-stream and
+reopens the directory.  The recovered engine must match an oracle that
+applied some valid prefix of the op stream containing *at least* every
+acknowledged batch — the acknowledged => recovered contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.persist.harness import deterministic_ops, make_base_dataset, run_kill_and_recover
+
+
+class TestKillAndRecover:
+    def test_acknowledged_writes_survive_sigkill(self, tmp_path):
+        report = run_kill_and_recover(
+            str(tmp_path / "kill"),
+            base_n=3_000,
+            seed=42,
+            batch=8,
+            kill_after_acks=4,
+            num_shards=2,
+        )
+        assert report["ok"], report
+        assert report["acked_ops"] >= 4 * 8
+        assert report["recovered_ops"] >= report["acked_ops"]
+
+    def test_different_seed_still_recovers(self, tmp_path):
+        report = run_kill_and_recover(
+            str(tmp_path / "kill2"),
+            base_n=2_000,
+            seed=7,
+            batch=5,
+            kill_after_acks=3,
+            num_shards=3,
+        )
+        assert report["ok"], report
+
+    def test_sampling_uniformity_not_rejected(self, tmp_path):
+        report = run_kill_and_recover(
+            str(tmp_path / "kill3"),
+            base_n=3_000,
+            seed=11,
+            batch=8,
+            kill_after_acks=4,
+            num_shards=2,
+        )
+        assert report["ok"], report
+        # chi-square on recovered sample_many draws: reject only at p < 1e-6
+        assert report["sample_worst_p"] > 1e-6
+
+
+class TestHarnessDeterminism:
+    def test_op_stream_is_deterministic(self):
+        a = deterministic_ops(seed=5, count=40, base_n=1_000)
+        b = deterministic_ops(seed=5, count=40, base_n=1_000)
+        assert len(a) == len(b) == 40
+        for op_a, op_b in zip(a, b):
+            assert op_a[0] == op_b[0]
+            for x, y in zip(op_a[1:], op_b[1:]):
+                assert (x == y).all() if hasattr(x, "all") else x == y
+
+    def test_base_dataset_is_deterministic(self):
+        d1 = make_base_dataset(500, seed=3)
+        d2 = make_base_dataset(500, seed=3)
+        assert len(d1) == len(d2) == 500
+        assert (d1.lefts == d2.lefts).all() and (d1.rights == d2.rights).all()
+
+    def test_delete_ops_present(self):
+        ops = deterministic_ops(seed=9, count=20, base_n=1_000)
+        kinds = {op[0] for op in ops}
+        assert kinds == {"insert", "delete"}
+
+
+@pytest.mark.timing
+class TestKillAndRecoverHeavy:
+    """Larger run, excluded from the default (tier-1) selection."""
+
+    def test_larger_ingest_survives_sigkill(self, tmp_path):
+        report = run_kill_and_recover(
+            str(tmp_path / "kill-heavy"),
+            base_n=20_000,
+            seed=1234,
+            batch=16,
+            kill_after_acks=10,
+            num_shards=4,
+        )
+        assert report["ok"], report

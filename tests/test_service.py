@@ -448,3 +448,60 @@ class TestBulkWrites:
         assert survivors <= reported
         assert first not in reported and int(batch[0]) not in reported
         assert engine.size == len(dataset) + 4 - 2
+
+
+class TestParallelRefreshFailure:
+    """refresh(parallel=True) must never leave the engine half-refreshed."""
+
+    def _spread_writes(self, engine):
+        rng = np.random.default_rng(17)
+        lefts = rng.uniform(0.0, 900.0, 64)
+        engine.insert_many(lefts, lefts + 10.0)
+        assert sum(1 for s in engine._shards if s.pending_ops) > 1
+
+    def test_shard_failure_propagates_after_all_shards_settle(self, dataset):
+        class OneShotFailure(SerialExecutor):
+            """Delivers one shard task's result as an injected exception."""
+
+            def map(self, fn, items):
+                items = list(items)
+                return [
+                    RuntimeError("injected shard failure") if i == 1 else fn(item)
+                    for i, item in enumerate(items)
+                ]
+
+        engine = ShardedEngine(dataset, num_shards=4, executor=OneShotFailure())
+        self._spread_writes(engine)
+        failing = [s for s in engine._shards if s.pending_ops][1]
+        with pytest.raises(RuntimeError, match=r"injected shard failure"):
+            engine.refresh(parallel=True)
+        # every other shard settled; the failing shard kept its buffered ops
+        for shard in engine._shards:
+            if shard is failing:
+                assert shard.pending_ops > 0
+            else:
+                assert shard.pending_ops == 0
+        # the failure is retryable: a healthy pass drains the survivor
+        engine.refresh()
+        assert all(s.pending_ops == 0 for s in engine._shards)
+        assert engine.size == len(dataset) + 64
+
+    def test_executor_failure_falls_back_to_serial_sweep(self, dataset):
+        class ExplodingExecutor(SerialExecutor):
+            exploded = False
+
+            def map(self, fn, items):
+                if not ExplodingExecutor.exploded:
+                    ExplodingExecutor.exploded = True
+                    raise BrokenPipeError("executor died mid-fan-out")
+                return super().map(fn, items)
+
+        engine = ShardedEngine(dataset, num_shards=4, executor=ExplodingExecutor())
+        self._spread_writes(engine)
+        with pytest.raises(BrokenPipeError, match=r"executor died"):
+            engine.refresh(parallel=True)
+        # the serial sweep drained every shard before the error surfaced
+        assert all(s.pending_ops == 0 for s in engine._shards)
+        assert engine.size == len(dataset) + 64
+        queries = np.array([[0.0, 1000.0]])
+        assert engine.count_many(queries)[0] == engine.size
