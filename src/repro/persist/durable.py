@@ -158,6 +158,17 @@ def save_engine_snapshot(engine, directory=None, fsync: bool = True,
     garbage-collects epochs older than the ``retain`` newest.  The engine
     stays attached to ``directory``: subsequent buffered writes are
     journaled to the new epoch's WALs.
+
+    .. warning::
+       The engine (like all of its methods) is **not thread-safe**, and this
+       function mutates it in several steps: a write dispatched by another
+       thread between the refresh and the WAL rotation would be journaled to
+       the *old* epoch's log yet be missing from the new snapshot — recovery
+       replays only WALs with epoch >= the restored base, so that
+       acknowledged write would be lost.  When the engine is served through
+       a live :class:`~repro.service.gateway.RequestGateway`, checkpoint via
+       :meth:`RequestGateway.checkpoint`, which runs this function on the
+       dispatcher thread, serialised with every write.
     """
     if directory is None:
         directory = getattr(engine, "_persist_dir", None)
@@ -383,7 +394,12 @@ def _record_recovered_owners(engine, global_ids: np.ndarray, shard_index: int) -
     top = int(global_ids.max()) + 1
     if top > engine._owner.shape[0]:
         grow = max(16, top - engine._owner.shape[0], engine._owner.shape[0] // 2)
-        engine._owner = np.concatenate((engine._owner, np.empty(grow, dtype=_ID)))
+        # -1, not np.empty: one shard's torn WAL tail can leave id gaps below
+        # another shard's surviving ids, and those gap entries sit inside the
+        # new _owner_count.  A garbage shard index there would route a later
+        # delete_many to the wrong shard; -1 marks the id as never recovered
+        # (delete_many and shard_of treat negative owners as unknown).
+        engine._owner = np.concatenate((engine._owner, np.full(grow, -1, dtype=_ID)))
     engine._owner[global_ids] = shard_index
     engine._owner_count = max(engine._owner_count, top)
     engine._next_global = max(engine._next_global, top)
@@ -436,7 +452,20 @@ def open_engine(engine_cls, directory, mmap: bool = True, verify: bool = True,
             )
             base_epoch = epoch
             break
-        except (SnapshotCorruptError, FileNotFoundError, KeyError) as exc:
+        except (
+            SnapshotCorruptError,
+            FileNotFoundError,
+            KeyError,
+            # A corrupt-but-CRC-valid header field surfaces as a parse error,
+            # not a SnapshotCorruptError: np.dtype on a mangled dtype string
+            # or resolve_checksum on an unknown algorithm raise ValueError,
+            # and a missing array feeds None into flat_from_arrays
+            # (AttributeError/TypeError).  All of them mean "this epoch is
+            # unusable" and must fall back, not abort recovery.
+            ValueError,
+            TypeError,
+            AttributeError,
+        ) as exc:
             last_error = exc
     if engine is None:
         raise SnapshotCorruptError(

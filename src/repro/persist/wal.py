@@ -5,8 +5,21 @@ Layout::
     offset 0   magic  b"RPRWAL1\\x00"                     (8 bytes)
     offset 8   format version                             (u32 LE)
     offset 12  epoch (snapshot generation this log extends) (u64 LE)
-    offset 20  header CRC (always zlib.crc32 of bytes 0..20) (u32 LE)
+    offset 20  record checksum algorithm name, NUL-padded (8 bytes)
+    offset 28  header CRC (always zlib.crc32 of bytes 0..28) (u32 LE)
     records    [u32 body length][u32 body checksum][body] ...
+
+Like the snapshot container, the log is self-describing about its record
+checksums: the header names the algorithm (``crc32c`` when a C
+implementation was importable at write time, ``crc32`` otherwise) and
+readers resolve that name via :func:`repro.persist.checksum.resolve_checksum`
+— never the current runtime's preference.  Without this, a log written
+under one algorithm and scanned under the other would fail every record
+check and be mistaken for an all-torn tail, silently truncating
+acknowledged writes.  The header CRC itself is pinned to ``zlib.crc32`` so
+the algorithm field is readable before any resolution happens.  Appends to
+a reopened log keep using the algorithm recorded in its header, so a file
+never mixes algorithms.
 
 Record bodies are raw little-endian arrays behind a one-byte kind tag:
 
@@ -42,15 +55,17 @@ from typing import Optional
 import numpy as np
 
 from ..core.errors import WALCorruptError
-from .checksum import checksum
+from .checksum import CHECKSUM_ALGORITHM, resolve_checksum
 
 __all__ = ["DeltaLog", "WAL_MAGIC", "WAL_FORMAT_VERSION", "FSYNC_POLICIES"]
 
 WAL_MAGIC = b"RPRWAL1\x00"
-WAL_FORMAT_VERSION = 1
+# v2 added the record-checksum algorithm name to the header; v1 (which left
+# readers guessing the algorithm) never shipped and is rejected.
+WAL_FORMAT_VERSION = 2
 FSYNC_POLICIES = ("always", "batch", "none")
 
-_HEADER = struct.Struct("<8sIQ")  # magic, version, epoch
+_HEADER = struct.Struct("<8sIQ8s")  # magic, version, epoch, checksum algorithm
 _HEADER_CRC = struct.Struct("<I")
 HEADER_SIZE = _HEADER.size + _HEADER_CRC.size
 _RECORD_PREFIX = struct.Struct("<II")  # body length, body checksum
@@ -63,16 +78,22 @@ _F8 = np.dtype("<f8")
 _U64 = struct.Struct("<Q")
 
 
-def _header_bytes(epoch: int) -> bytes:
-    body = _HEADER.pack(WAL_MAGIC, WAL_FORMAT_VERSION, int(epoch))
+def _header_bytes(epoch: int, algorithm: str) -> bytes:
+    name = algorithm.encode("ascii")
+    if not name or len(name) > 8:
+        raise ValueError(f"checksum algorithm name {algorithm!r} must pack into 8 bytes")
+    body = _HEADER.pack(WAL_MAGIC, WAL_FORMAT_VERSION, int(epoch), name)
     return body + _HEADER_CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
 
 
-def _parse_header(raw: bytes, path: str) -> int:
-    """Validate a WAL header; return the epoch.  Raises WALCorruptError."""
+def _parse_header(raw: bytes, path: str) -> tuple[int, str]:
+    """Validate a WAL header; return ``(epoch, checksum algorithm name)``.
+
+    Raises WALCorruptError for anything that makes the header unreadable.
+    """
     if len(raw) < HEADER_SIZE:
         raise WALCorruptError(f"{path}: truncated WAL header")
-    magic, version, epoch = _HEADER.unpack(raw[: _HEADER.size])
+    magic, version, epoch, algorithm = _HEADER.unpack(raw[: _HEADER.size])
     (crc,) = _HEADER_CRC.unpack(raw[_HEADER.size : HEADER_SIZE])
     if magic != WAL_MAGIC:
         raise WALCorruptError(f"{path}: bad WAL magic {magic!r}")
@@ -80,7 +101,21 @@ def _parse_header(raw: bytes, path: str) -> int:
         raise WALCorruptError(f"{path}: WAL header failed its checksum")
     if version != WAL_FORMAT_VERSION:
         raise WALCorruptError(f"{path}: unsupported WAL format version {version}")
-    return int(epoch)
+    return int(epoch), algorithm.rstrip(b"\x00").decode("ascii", "replace")
+
+
+def _resolve_record_checksum(algorithm: str, path: str):
+    """The checksum function named by a WAL header.
+
+    Raising beats truncating here: a log whose algorithm this runtime cannot
+    compute (e.g. a ``crc32c`` file on a box that lost its crc32c wheel)
+    would fail *every* record check, and treating that as a torn tail would
+    silently destroy acknowledged writes.
+    """
+    try:
+        return resolve_checksum(algorithm)
+    except ValueError as exc:
+        raise WALCorruptError(f"{path}: cannot verify WAL records: {exc}") from exc
 
 
 def _decode_body(body: bytes):
@@ -115,12 +150,19 @@ class DeltaLog:
         exists = os.path.exists(self._path) and os.path.getsize(self._path) > 0
         if exists:
             with open(self._path, "rb") as handle:
-                self._epoch = _parse_header(handle.read(HEADER_SIZE), self._path)
+                self._epoch, self._algorithm = _parse_header(
+                    handle.read(HEADER_SIZE), self._path
+                )
+            # Appends continue with the algorithm the file was created with,
+            # so one log never mixes record-checksum algorithms.
+            self._checksum = _resolve_record_checksum(self._algorithm, self._path)
             self._file = opener(self._path, "ab")
         elif create:
             self._epoch = int(epoch)
+            self._algorithm = CHECKSUM_ALGORITHM
+            self._checksum = resolve_checksum(self._algorithm)
             self._file = opener(self._path, "wb")
-            self._file.write(_header_bytes(self._epoch))
+            self._file.write(_header_bytes(self._epoch, self._algorithm))
             self._file.flush()
             if fsync != "none":
                 os.fsync(self._file.fileno())
@@ -144,6 +186,11 @@ class DeltaLog:
         return self._fsync
 
     @property
+    def checksum_algorithm(self) -> str:
+        """Record-checksum algorithm recorded in (and enforced by) the header."""
+        return self._algorithm
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -154,7 +201,7 @@ class DeltaLog:
     # appends
     # ------------------------------------------------------------------ #
     def _append(self, body: bytes) -> None:
-        prefix = _RECORD_PREFIX.pack(len(body), checksum(body))
+        prefix = _RECORD_PREFIX.pack(len(body), self._checksum(body))
         # One write() per record: a crash tears at most the final record,
         # and a torn record always fails its length or checksum test.
         self._file.write(prefix + body)
@@ -224,7 +271,8 @@ class DeltaLog:
         if len(raw) < HEADER_SIZE:
             # Crash while creating the log: header itself is the torn tail.
             return 0, [], 0
-        epoch = _parse_header(raw[:HEADER_SIZE], path)
+        epoch, algorithm = _parse_header(raw[:HEADER_SIZE], path)
+        check = _resolve_record_checksum(algorithm, path)
         records: list = []
         cursor = HEADER_SIZE
         total = len(raw)
@@ -235,7 +283,7 @@ class DeltaLog:
             if body_len == 0 or body_end > total:
                 break  # torn/truncated tail
             body = raw[body_start:body_end]
-            if checksum(body) != body_crc:
+            if check(body) != body_crc:
                 break  # corrupt tail: stop, keep everything before it
             try:
                 decoded = _decode_body(body)
@@ -288,4 +336,4 @@ def wal_epoch(path) -> Optional[int]:
         return None
     if len(raw) < HEADER_SIZE:
         return None
-    return _parse_header(raw, os.fspath(path))
+    return _parse_header(raw, os.fspath(path))[0]

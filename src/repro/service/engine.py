@@ -234,7 +234,9 @@ class ShardedEngine:
     def shard_of(self, global_id: int) -> int:
         """Index of the shard owning ``global_id`` (deleted ids keep their owner)."""
         g = int(global_id)
-        if g < 0 or g >= self._owner_count:
+        if g < 0 or g >= self._owner_count or self._owner[g] < 0:
+            # Negative entries mark id-space gaps left by crash recovery
+            # (ids lost to a torn WAL tail below a surviving shard's ids).
             raise KeyError(f"interval id {global_id} was never assigned")
         return int(self._owner[g])
 
@@ -243,7 +245,10 @@ class ShardedEngine:
         need = self._owner_count + int(owners.shape[0])
         if need > self._owner.shape[0]:
             grow = max(16, need - self._owner.shape[0], self._owner.shape[0] // 2)
-            self._owner = np.concatenate((self._owner, np.empty(grow, dtype=_ID)))
+            # -1 fill: entries beyond _owner_count are unreachable here, but
+            # the recovery path can surface id gaps (see shard_of), so the
+            # whole array keeps the invariant "unassigned slot == -1".
+            self._owner = np.concatenate((self._owner, np.full(grow, -1, dtype=_ID)))
         self._owner[self._owner_count : need] = owners
         self._owner_count = need
 
@@ -342,6 +347,14 @@ class ShardedEngine:
         :mod:`repro.persist.durable`).  ``directory`` defaults to the
         directory the engine is already attached to.  ``retain`` older
         epochs are kept as fallbacks; the rest are garbage-collected.
+
+        Like every engine method this is **not thread-safe**: when the
+        engine is served through a running
+        :class:`~repro.service.gateway.RequestGateway`, use
+        :meth:`RequestGateway.checkpoint` instead, which executes the
+        checkpoint on the dispatcher thread, serialised with the write path
+        (a concurrent write could otherwise land in the outgoing epoch's WAL
+        but miss the new snapshot, and be dropped by recovery).
         """
         from ..persist.durable import save_engine_snapshot
 
@@ -533,6 +546,8 @@ class ShardedEngine:
                 continue
             if g < 0 or g >= self._owner_count or g in self._deleted:
                 continue
+            if self._owner[g] < 0:
+                continue  # recovery id gap (torn WAL tail): id never existed here
             self._deleted.add(g)
             accepted.append(g)
             results[position] = True

@@ -7,8 +7,9 @@ arrives as independent single requests from many concurrent callers, none of
 whom can assemble a batch on their own.  The gateway closes that gap:
 
 * callers submit single ``count`` / ``report`` / ``sample`` /
-  ``total_weight`` requests (and ``insert`` / ``delete`` writes) from any
-  thread and get a :class:`concurrent.futures.Future` back;
+  ``total_weight`` requests (plus ``insert`` / ``delete`` writes and
+  ``checkpoint`` snapshots) from any thread and get a
+  :class:`concurrent.futures.Future` back;
 * a single dispatcher thread coalesces queued requests into **micro-batches**
   under a tunable window — a batch closes when it holds ``max_batch_size``
   requests or the oldest request has waited ``max_wait_ms`` milliseconds,
@@ -66,6 +67,10 @@ READ_OPS = frozenset({"count", "total_weight", "report", "sample"})
 
 #: Write operations, applied in bulk at the head of every micro-batch.
 WRITE_OPS = frozenset({"insert", "delete"})
+
+#: Control operations, executed on the dispatcher thread between the write
+#: and read groups of their micro-batch.
+CONTROL_OPS = frozenset({"checkpoint"})
 
 _STOP = object()
 
@@ -222,9 +227,10 @@ class RequestGateway:
         """Enqueue one request; return the future carrying its result.
 
         ``op`` is one of ``count`` / ``total_weight`` / ``report`` /
-        ``sample`` / ``insert`` / ``delete``; positional arguments mirror
-        the engine's scalar API (``sample`` additionally accepts the
-        ``on_empty`` keyword).  Validation runs *here*, on the submitting
+        ``sample`` / ``insert`` / ``delete`` / ``checkpoint``; positional
+        arguments mirror the engine's scalar API (``sample`` additionally
+        accepts the ``on_empty`` keyword, ``checkpoint`` the ``fsync`` and
+        ``retain`` keywords).  Validation runs *here*, on the submitting
         thread — a malformed request raises immediately and never enters a
         batch.
         """
@@ -250,10 +256,22 @@ class RequestGateway:
             (global_id,) = args
             payload = (int(global_id),)
             group_key = (op,)
+        elif op == "checkpoint":
+            if not hasattr(self._engine, "save_snapshot"):
+                raise ValueError(
+                    f"engine {type(self._engine).__name__} does not support snapshots"
+                )
+            if len(args) > 1:
+                raise TypeError(f"checkpoint takes at most one positional argument, got {len(args)}")
+            directory = args[0] if args else None
+            fsync = bool(kwargs.pop("fsync", True))
+            retain = int(kwargs.pop("retain", 2))
+            payload = (directory, fsync, retain)
+            group_key = (op,)
         else:
             raise ValueError(
                 f"unknown operation {op!r}; expected one of "
-                f"{sorted(READ_OPS | WRITE_OPS)}"
+                f"{sorted(READ_OPS | WRITE_OPS | CONTROL_OPS)}"
             )
         if kwargs:
             raise TypeError(f"unexpected keyword arguments for {op!r}: {sorted(kwargs)}")
@@ -301,6 +319,25 @@ class RequestGateway:
     def delete(self, global_id: int, timeout: Optional[float] = None) -> bool:
         """Delete one interval by global id; True when it was active (blocking)."""
         return self.submit("delete", global_id).result(timeout)
+
+    def checkpoint(
+        self,
+        directory=None,
+        fsync: bool = True,
+        retain: int = 2,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Snapshot the engine on the dispatcher thread; return the new epoch.
+
+        This is the only safe way to checkpoint an engine behind a *running*
+        gateway: the checkpoint executes inside the dispatch loop, after the
+        writes of its micro-batch and never concurrently with any other
+        engine call, so a write can never land in the outgoing epoch's WAL
+        while missing from the new snapshot.  Arguments mirror
+        :meth:`ShardedEngine.save_snapshot` (blocking).
+        """
+        return self.submit("checkpoint", *(() if directory is None else (directory,)),
+                           fsync=fsync, retain=retain).result(timeout)
 
     # ------------------------------------------------------------------ #
     # validation helpers
@@ -405,14 +442,17 @@ class RequestGateway:
         if not batch:
             return
 
-        # Writes first, reads second: every read in the micro-batch observes
-        # the same snapshot, which already contains the batch's writes (the
-        # engine folds buffered writes in at its own batch boundary).
+        # Writes first, checkpoints second, reads last: every read in the
+        # micro-batch observes the same snapshot, which already contains the
+        # batch's writes (the engine folds buffered writes in at its own
+        # batch boundary), and a checkpoint folds in every write dispatched
+        # before it.
         writes = [r for r in batch if r.op in WRITE_OPS]
-        reads = [r for r in batch if r.op not in WRITE_OPS]
+        controls = [r for r in batch if r.op in CONTROL_OPS]
+        reads = [r for r in batch if r.op in READ_OPS]
 
         groups: dict[tuple, list[_Request]] = {}
-        for request in writes + reads:
+        for request in writes + controls + reads:
             groups.setdefault(request.group_key, []).append(request)
         self._metrics.record_batch(len(batch), groups=len(groups))
 
@@ -421,8 +461,11 @@ class RequestGateway:
                 self._run_group(groups[key], self._dispatch_inserts, self._scalar_insert)
             elif key[0] == "delete":
                 self._run_group(groups[key], self._dispatch_deletes, self._scalar_delete)
+        for key in list(groups):
+            if key[0] == "checkpoint":
+                self._dispatch_checkpoints(groups[key])
         for key, members in groups.items():
-            if key[0] in WRITE_OPS:
+            if key[0] in WRITE_OPS or key[0] in CONTROL_OPS:
                 continue
             if key[0] == "sample":
 
@@ -503,6 +546,18 @@ class RequestGateway:
 
     def _scalar_sample(self, request: _Request, sample_size: int, on_empty: str) -> None:
         self._dispatch_samples([request], sample_size, on_empty)
+
+    # Control dispatch --------------------------------------------------- #
+    def _dispatch_checkpoints(self, requests: list[_Request]) -> None:
+        """Run queued checkpoints sequentially; errors stay on their future."""
+        for request in requests:
+            directory, fsync, retain = request.payload
+            try:
+                epoch = self._engine.save_snapshot(directory, fsync=fsync, retain=retain)
+            except Exception as exc:
+                self._finish(request, error=exc)
+            else:
+                self._finish(request, int(epoch))
 
     # Write dispatch ----------------------------------------------------- #
     def _sync_writes(self) -> None:

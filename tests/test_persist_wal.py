@@ -7,8 +7,16 @@ import os
 import numpy as np
 import pytest
 
+import zlib
+
 from repro import WALCorruptError
-from repro.persist import DeltaLog, FaultInjector, FaultyFile, WriteFault, flip_byte, truncate_file
+import importlib
+
+from repro.persist import CHECKSUM_ALGORITHM, DeltaLog, FaultInjector, FaultyFile, WriteFault, flip_byte, truncate_file
+from repro.persist import wal as wal_module
+
+# the package re-exports the checksum *function*, shadowing the submodule name
+checksum_module = importlib.import_module("repro.persist.checksum")
 from repro.persist.wal import HEADER_SIZE, wal_epoch
 
 
@@ -119,6 +127,74 @@ class TestTornTails:
         flip_byte(path, 2)  # inside the magic
         with pytest.raises(WALCorruptError):
             DeltaLog.scan(path)
+
+
+def _adler(data, value: int = 0) -> int:
+    """A stand-in 'foreign' checksum algorithm, guaranteed != crc32/crc32c."""
+    return zlib.adler32(bytes(data)) & 0xFFFFFFFF
+
+
+@pytest.fixture
+def foreign_algorithm(monkeypatch):
+    """Register 'adler32' and make it the preferred write-time algorithm."""
+    monkeypatch.setitem(checksum_module._ALGORITHMS, "adler32", _adler)
+    monkeypatch.setattr(wal_module, "CHECKSUM_ALGORITHM", "adler32")
+    return "adler32"
+
+
+class TestChecksumAlgorithm:
+    """The WAL header records the record-checksum algorithm (REVIEW issue:
+    without it, a log written under crc32c and scanned under crc32 — or vice
+    versa — failed every record check and was silently truncated as an
+    all-torn tail, destroying acknowledged writes)."""
+
+    def test_header_records_runtime_algorithm(self, tmp_path):
+        path = str(tmp_path / "alg.log")
+        log = DeltaLog(path, fsync="none")
+        assert log.checksum_algorithm == CHECKSUM_ALGORITHM
+        log.close()
+
+    def test_scan_verifies_with_header_algorithm_not_runtime_preference(
+        self, tmp_path, monkeypatch, foreign_algorithm
+    ):
+        path = str(tmp_path / "cross.log")
+        _write_batches(path, epoch=5)  # written with adler32 digests
+        # Flip the runtime preference back: a reader that trusted its own
+        # preferred algorithm would now fail every record and report a fully
+        # torn log; header-driven resolution must still see all 3 records.
+        monkeypatch.setattr(wal_module, "CHECKSUM_ALGORITHM", "crc32")
+        epoch, records, valid = DeltaLog.scan(path)
+        assert epoch == 5
+        assert len(records) == 3
+        assert valid == os.path.getsize(path)
+
+    def test_reopen_keeps_the_file_algorithm_for_new_appends(
+        self, tmp_path, monkeypatch, foreign_algorithm
+    ):
+        path = str(tmp_path / "mix.log")
+        _write_batches(path, epoch=2)
+        monkeypatch.setattr(wal_module, "CHECKSUM_ALGORITHM", "crc32")
+        log = DeltaLog(path, fsync="none", create=False)
+        assert log.checksum_algorithm == "adler32"  # file wins, not runtime
+        log.append_delete([7])
+        log.close()
+        _, records, valid = DeltaLog.scan(path)
+        assert len(records) == 4 and valid == os.path.getsize(path)
+
+    def test_unresolvable_algorithm_raises_instead_of_truncating(
+        self, tmp_path, monkeypatch, foreign_algorithm
+    ):
+        path = str(tmp_path / "lost.log")
+        _write_batches(path, epoch=1)
+        size = os.path.getsize(path)
+        # Simulate reading the log on a host without the writer's algorithm.
+        monkeypatch.delitem(checksum_module._ALGORITHMS, "adler32")
+        with pytest.raises(WALCorruptError, match=r"cannot verify"):
+            DeltaLog.scan(path)
+        with pytest.raises(WALCorruptError, match=r"cannot verify"):
+            DeltaLog.recover(path, fsync="none", epoch=1)
+        # recover must not have "repaired" the file by truncating it
+        assert os.path.getsize(path) == size
 
 
 class TestFaultInjection:

@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 import os
+import struct
+import zlib
 
 import numpy as np
 import pytest
 
 from repro import IntervalDataset, ShardedEngine, SnapshotCorruptError
-from repro.persist import DeltaLog, flip_byte, snapshot_epochs
+from repro.persist import DeltaLog, flip_byte, snapshot_epochs, truncate_file
 from repro.persist.snapshot import read_header
+from repro.persist.wal import HEADER_SIZE as WAL_HEADER_SIZE
 
 
 def _queries(count=40, seed=2, domain=1000.0, extent=60.0):
@@ -152,7 +155,68 @@ class TestWALReplay:
             assert not any(name.startswith("shard-0-1.") for name in names)
 
 
+class TestRecoveredOwnerGaps:
+    def test_torn_shard_wal_leaves_unknown_ids_not_garbage(self, tmp_path, dataset):
+        """One shard's torn WAL tail must not poison the owner map (REVIEW
+        issue: np.empty growth left garbage shard indices in the id gap, so
+        a later delete routed to a random — or out-of-range — shard)."""
+        directory = str(tmp_path / "gaps")
+        with _engine(dataset, num_shards=2) as engine:
+            engine.save_snapshot(directory)
+            lefts = np.linspace(1.0, 10.0, 10)
+            new_ids = engine.insert_many(lefts, lefts + 5.0)
+            engine.sync_wal()
+            owners = {int(g): engine.shard_of(int(g)) for g in new_ids}
+            want_size = engine.size
+
+        # shard 0 loses its whole epoch-1 log body; shard 1's survives, so
+        # the recovered id space has gaps below its own top.
+        truncate_file(os.path.join(directory, "wal-1-shard0.log"), WAL_HEADER_SIZE)
+        lost = [g for g, owner in owners.items() if owner == 0]
+        kept = [g for g, owner in owners.items() if owner == 1]
+        assert lost and kept  # round-robin routed the batch to both shards
+
+        with ShardedEngine.open(directory) as restored:
+            assert restored.size == want_size - len(lost)
+            # lost ids are *unknown*: delete reports False instead of
+            # raising IndexError or deleting from the wrong shard ...
+            assert restored.delete_many(lost).sum() == 0
+            for g in lost:
+                with pytest.raises(KeyError):
+                    restored.shard_of(g)
+            # ... while the surviving ids stay fully addressable.
+            assert all(restored.shard_of(g) == 1 for g in kept)
+            assert restored.delete_many(kept).all()
+
+
+def _mangle_header_dtype(path: str) -> None:
+    """Corrupt a dtype string inside a snapshot header, keeping the header
+    CRC valid — the corruption surfaces as a parse error, not a checksum
+    failure."""
+    with open(path, "r+b") as handle:
+        magic, header_len, _ = struct.unpack("<8sII", handle.read(16))
+        header = handle.read(header_len)
+        assert b'"<i8"' in header
+        header = header.replace(b'"<i8"', b'"@#!"', 1)
+        handle.seek(0)
+        handle.write(struct.pack("<8sII", magic, header_len, zlib.crc32(header) & 0xFFFFFFFF))
+        handle.write(header)
+
+
 class TestEpochFallback:
+    def test_crc_valid_but_unparseable_header_falls_back(self, tmp_path, dataset):
+        """A corrupt-but-CRC-valid header field raises np.dtype's TypeError /
+        ValueError, not SnapshotCorruptError; the per-epoch fallback loop
+        must treat that as "epoch unusable", not abort recovery (REVIEW)."""
+        directory = str(tmp_path / "parse")
+        with _engine(dataset) as engine:
+            engine.save_snapshot(directory)              # epoch 1
+            engine.insert_many([10.0], [20.0])           # -> wal-1
+            engine.save_snapshot(directory)              # epoch 2
+            want_size = engine.size
+        _mangle_header_dtype(os.path.join(directory, "engine-2.state"))
+        with ShardedEngine.open(directory) as restored:  # falls back to epoch 1
+            assert restored.size == want_size
     def test_corrupt_newest_epoch_falls_back_and_replays(self, tmp_path, dataset):
         directory = str(tmp_path / "fb")
         queries = _queries()
