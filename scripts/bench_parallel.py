@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Measure process-executor scaling and emit BENCH_parallel.json.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_parallel.py [--out BENCH_parallel.json]
+
+For each dataset size the script sweeps shard counts K with the serial
+scatter loop and the :class:`~repro.service.ProcessExecutor` (long-lived
+workers over shared-memory shard snapshots), times ``count_many`` and
+``sample_many`` on the same workload, and records queries/second per
+(n, operation, shards, executor) plus two derived columns:
+
+* ``vs_serial_k1``      — throughput relative to the serial K=1 engine
+  (the scaling curve this PR exists to move);
+* ``results_identical`` — **hard invariant**: the process executor's
+  answers are bit-identical (exact array equality on counts and on
+  fixed-seed sample draws) to the serial executor's at the same K.
+
+Numbers are hardware-honest: ``config.cpu_count`` records the cores the
+sweep actually had.  ``count_many`` per shard is two ``searchsorted``
+passes — sharding splits the data, not the O(Q·log n) work, so its
+data-parallel speedup is bounded by log n / log(n/K) even on a many-core
+box; sampling carries divisible per-shard draw/output work and is where
+process parallelism can pay.  On a single-core runner every process row
+additionally pays IPC with no parallel gain, which is why the regression
+gate treats the scaling ratios as advisory (wide tolerance) and gates hard
+only on ``results_identical``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ShardedEngine, __version__  # noqa: E402
+from repro.datasets import generate_paper_dataset, generate_queries  # noqa: E402
+from repro.experiments.exp_parallel_scaling import (  # noqa: E402
+    measure_engine,
+    results_identical,
+)
+from repro.service import ProcessExecutor  # noqa: E402
+
+
+def bench_one(
+    n: int, query_count: int, sample_size: int, shard_counts: list[int], repeats: int
+) -> list[dict]:
+    dataset = generate_paper_dataset("btc", n=n, random_state=1)
+    workload = generate_queries(dataset, count=query_count, extent_fraction=0.08, random_state=2)
+    query_array = np.asarray(list(workload), dtype=np.float64)
+
+    rows = []
+    baselines: dict[str, float] = {}
+    for shards in shard_counts:
+        with ShardedEngine(dataset, num_shards=shards, executor="serial") as engine:
+            serial_count, serial_sample, counts, draws = measure_engine(
+                engine, query_array, sample_size, repeats
+            )
+        reference = (counts, draws)
+        if not baselines:
+            baselines = {"count": serial_count, "sample": serial_sample}
+
+        executor = ProcessExecutor(max_workers=shards)
+        try:
+            with ShardedEngine(dataset, num_shards=shards, executor=executor) as engine:
+                process_count, process_sample, counts, draws = measure_engine(
+                    engine, query_array, sample_size, repeats
+                )
+        finally:
+            executor.shutdown()
+        identical = results_identical(reference, (counts, draws))
+
+        for operation, serial_qps, process_qps in (
+            ("count", serial_count, process_count),
+            ("sample", serial_sample, process_sample),
+        ):
+            for executor_name, qps in (("serial", serial_qps), ("process", process_qps)):
+                ratio = qps / baselines[operation] if baselines[operation] > 0 else float("inf")
+                rows.append(
+                    {
+                        "n": n,
+                        "operation": operation,
+                        "shards": shards,
+                        "executor": executor_name,
+                        "qps": round(qps, 1),
+                        "vs_serial_k1": round(ratio, 3),
+                        "results_identical": bool(identical),
+                    }
+                )
+                print(
+                    f"n={n:>7} {operation:<7} K={shards} {executor_name:<8}"
+                    f" {qps:>12.0f} q/s   {ratio:5.2f}x serial-K1"
+                    f"   identical={identical}"
+                )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_parallel.json",
+        help="output JSON path (default: repo-root BENCH_parallel.json)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[100_000], help="dataset sizes"
+    )
+    parser.add_argument("--queries", type=int, default=1_000, help="queries per measurement")
+    parser.add_argument("--samples", type=int, default=100, help="samples per query")
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4], help="shard counts to sweep"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing repetitions")
+    args = parser.parse_args(argv)
+
+    results = []
+    for n in args.sizes:
+        results.extend(bench_one(n, args.queries, args.samples, args.shards, args.repeats))
+
+    payload = {
+        "config": {
+            "dataset": "btc (synthetic analogue)",
+            "sizes": args.sizes,
+            "query_count": args.queries,
+            "extent_fraction": 0.08,
+            "sample_size": args.samples,
+            "shard_counts": args.shards,
+            "repeats": args.repeats,
+            "cpu_count": os.cpu_count(),
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,7 +30,11 @@ measure a *design property* rather than the hardware:
   regression);
 * ``BENCH_build.json``      — the treeless columnar builder's speedup over the
   tree-walk full build, and the hard invariant that both builders emit
-  bit-identical snapshot arrays.
+  bit-identical snapshot arrays;
+* ``BENCH_parallel.json``   — the hard invariant that the process executor's
+  answers are bit-identical to the serial executor's at the same shard count,
+  plus advisory process-vs-serial throughput ratios (parallel speedup is a
+  property of the runner's core count, recorded in ``config.cpu_count``).
 
 A candidate fails only when an indicator falls below ``baseline /
 tolerance`` (default tolerance 10x — generous by design; the gate exists to
@@ -116,6 +120,20 @@ SCHEMAS: dict[str, dict] = {
             "scalar_p95_ms",
             "gateway_p95_ms",
             "p95_speedup",
+        },
+    },
+    "BENCH_parallel.json": {
+        "top": {"config", "results"},
+        "rows": {
+            None: {
+                "n",
+                "operation",
+                "shards",
+                "executor",
+                "qps",
+                "vs_serial_k1",
+                "results_identical",
+            },
         },
     },
     "BENCH_recovery.json": {
@@ -263,8 +281,30 @@ def _recovery_indicators(payload: dict) -> dict[str, float]:
     return out
 
 
+def _parallel_indicators(payload: dict) -> dict[str, float]:
+    out = {
+        # Hard invariant rather than a ratio: every process-executor row must
+        # be bit-identical to the serial executor at the same K.  1.0 or bust.
+        "process_bit_identical": 1.0
+        if all(bool(row["results_identical"]) for row in payload["results"])
+        else 0.0,
+    }
+    # Advisory scaling indicators (wide-tolerance compare): best relative
+    # throughput of the process executor per operation.  Raw parallel speedup
+    # is a property of the runner's core count (config.cpu_count), so these
+    # gate only against order-of-magnitude collapses such as a
+    # republish-every-batch bug, not against hardware differences.
+    for row in payload["results"]:
+        if row["executor"] != "process":
+            continue
+        key = f"process_vs_serial_k1[{row['operation']}]"
+        out[key] = max(out.get(key, 0.0), float(row["vs_serial_k1"]))
+    return out
+
+
 INDICATORS = {
     "BENCH_throughput.json": _throughput_indicators,
+    "BENCH_parallel.json": _parallel_indicators,
     "BENCH_service.json": _service_indicators,
     "BENCH_updates.json": _updates_indicators,
     "BENCH_gateway.json": _gateway_indicators,

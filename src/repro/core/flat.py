@@ -171,6 +171,36 @@ class FlatAIT:
     [2, 1]
     """
 
+    #: Snapshot array schema: ``(public name, attribute)`` for the 13 core
+    #: arrays.  Shared by the persistence layer (:mod:`repro.persist.snapshot`)
+    #: and the shared-memory publisher (:mod:`repro.service.shm`), so every
+    #: serialisation of a snapshot enumerates exactly the same fields.
+    #: ``all_weight_prefix`` is ``None`` for unweighted snapshots.
+    CORE_FIELDS = (
+        ("centers", "_centers"),
+        ("left_child", "_left_child"),
+        ("right_child", "_right_child"),
+        ("stab_off", "_stab_off"),
+        ("stab_len", "_stab_len"),
+        ("sub_off", "_sub_off"),
+        ("sub_len", "_sub_len"),
+        ("stab_lefts", "_stab_lefts"),
+        ("stab_rights", "_stab_rights"),
+        ("sub_lefts", "_sub_lefts"),
+        ("sub_rights", "_sub_rights"),
+        ("all_ids", "_all_ids"),
+        ("all_weight_prefix", "_all_weight_prefix"),
+    )
+    #: The 4 derived rank-key pools (:meth:`_build_rank_keys`).  Optional in
+    #: any serialised form: :meth:`from_buffers` adopts them when present and
+    #: recomputes them otherwise.
+    RANK_KEY_FIELDS = (
+        ("rank_stab_lefts", "_stab_lefts_key"),
+        ("rank_stab_rights", "_stab_rights_key"),
+        ("rank_sub_lefts", "_sub_lefts_key"),
+        ("rank_sub_rights", "_sub_rights_key"),
+    )
+
     def __init__(
         self,
         centers: np.ndarray,
@@ -743,6 +773,66 @@ class FlatAIT:
             all_weight_prefix,
             weighted,
         )
+
+    def to_buffers(self) -> dict[str, np.ndarray]:
+        """Every array of this snapshot as a flat ``{name: array}`` mapping.
+
+        The inverse of :meth:`from_buffers`: core arrays plus the derived
+        rank-key pools, keyed by the :attr:`CORE_FIELDS` /
+        :attr:`RANK_KEY_FIELDS` names.  ``None`` entries (the weight prefix
+        of an unweighted snapshot) are omitted.  The arrays are the live
+        ones, not copies — callers serialising them must copy.
+        """
+        out: dict[str, np.ndarray] = {}
+        for name, attr in self.CORE_FIELDS + self.RANK_KEY_FIELDS:
+            array = getattr(self, attr)
+            if array is not None:
+                out[name] = array
+        return out
+
+    @classmethod
+    def from_buffers(cls, arrays: dict, weighted: bool) -> "FlatAIT":
+        """Reassemble a snapshot around existing buffers without copying.
+
+        ``arrays`` maps :attr:`CORE_FIELDS` names (plus, optionally,
+        :attr:`RANK_KEY_FIELDS` names) to arrays — typically views into a
+        memory-mapped snapshot file or a ``multiprocessing.shared_memory``
+        segment.  Bypasses ``__init__`` so saved rank-key pools are adopted
+        instead of recomputed: recomputation would touch every page of the
+        backing store, defeating lazy attach.  Derived scalars and views
+        (``_kind_base``, the root-sorted endpoint views, ``_rank_m``) are
+        cheap and rebuilt in place.  The returned snapshot aliases the given
+        buffers: they must outlive it and stay unmodified.
+        """
+        flat = cls.__new__(cls)
+        for name, attr in cls.CORE_FIELDS:
+            setattr(flat, attr, arrays.get(name))
+        if flat._all_weight_prefix is None and weighted:
+            raise InvalidWeightError(
+                "weighted snapshot buffers are missing the all_weight_prefix array"
+            )
+        flat._weighted = bool(weighted)
+        stab_total = int(flat._stab_lefts.shape[0])
+        sub_total = int(flat._sub_lefts.shape[0])
+        flat._kind_base = np.array(
+            [0, stab_total, 2 * stab_total, 2 * stab_total + sub_total], dtype=_ID
+        )
+        flat._nodes = None
+        flat._node_index = None
+        flat.built_incrementally = False
+        have_keys = all(
+            arrays.get(name) is not None for name, _ in cls.RANK_KEY_FIELDS
+        )
+        if have_keys:
+            for name, attr in cls.RANK_KEY_FIELDS:
+                setattr(flat, attr, arrays[name])
+            n_active = int(flat._sub_len[0]) if flat._centers.shape[0] else 0
+            flat._sorted_lefts = flat._sub_lefts[:n_active]
+            flat._sorted_rights = flat._sub_rights[:n_active]
+            flat._rank_m = n_active + 1
+        else:
+            flat._build_rank_keys()
+        return flat
 
     @staticmethod
     def _walk_preorder(tree: "AIT") -> list:

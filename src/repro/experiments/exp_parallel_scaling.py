@@ -1,0 +1,152 @@
+"""Parallel scaling — process-executor scatter vs the serial loop.
+
+Not a table from the paper: this experiment tracks the engineering headroom
+of the process-parallel execution tier added with ISSUE 7.  For each dataset
+it sweeps shard counts K with both the serial scatter loop and the
+:class:`~repro.service.ProcessExecutor` (long-lived workers attached to the
+shards' shared-memory snapshots), measures ``count_many`` and
+``sample_many`` throughput, and — the part that gates — asserts that every
+process-executor answer is **bit-identical** to the serial executor's at the
+same K (``identical`` column; exact array equality on counts and on sample
+draws under a fixed seed).
+
+Throughput expectations are hardware-honest.  ``count_many`` per shard is
+two ``searchsorted`` passes, O(Q·log n): sharding *splits the data*, not the
+work (every shard still classifies every query against log(n/K) levels), so
+even on a many-core box the data-parallel speedup is bounded by
+log n / log(n/K) — barely above 1.  Sampling and reporting carry real
+per-shard output work, which does divide.  On a single-core runner every
+process row additionally pays IPC without any gain.  That is why the
+committed baseline records ``cpu_count`` and why the scaling ratios are
+advisory (compared under the regression gate's wide tolerance) while
+``identical`` is a hard 1.0 invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..service import ProcessExecutor, ShardedEngine
+from .config import ExperimentConfig
+from .exp_service_throughput import measure_qps
+from .harness import build_dataset, build_workload
+from .report import ExperimentResult
+
+__all__ = ["run", "PARALLEL_SHARD_SWEEP", "measure_engine", "results_identical"]
+
+#: Shard counts swept by the parallel-scaling experiment.
+PARALLEL_SHARD_SWEEP: tuple[int, ...] = (1, 2, 4)
+
+#: Fixed seed for the sample_many bit-identity check (same seed, same draws).
+SAMPLE_SEED = 12345
+
+
+def measure_engine(engine, query_array, sample_size: int, repeats: int):
+    """(count_qps, sample_qps, count_rows, sample_draws) for one engine.
+
+    The first call of each operation runs un-timed: for the process executor
+    it absorbs the one-off worker spawn + segment publish cost, so the timed
+    passes measure steady-state scatter throughput (the quantity that should
+    scale), not process start-up.
+    """
+    query_count = int(query_array.shape[0])
+    counts = engine.count_many(query_array)
+    count_qps = measure_qps(lambda: engine.count_many(query_array), query_count, repeats)
+    draws = engine.sample_many(
+        query_array, sample_size, random_state=np.random.default_rng(SAMPLE_SEED)
+    )
+    sample_qps = measure_qps(
+        lambda: engine.sample_many(
+            query_array, sample_size, random_state=np.random.default_rng(SAMPLE_SEED)
+        ),
+        query_count,
+        repeats,
+    )
+    return count_qps, sample_qps, counts, draws
+
+
+def results_identical(reference, candidate) -> bool:
+    """True when two (counts, draws) pairs are bit-identical."""
+    ref_counts, ref_draws = reference
+    cand_counts, cand_draws = candidate
+    if not np.array_equal(ref_counts, cand_counts):
+        return False
+    if len(ref_draws) != len(cand_draws):
+        return False
+    return all(np.array_equal(a, b) for a, b in zip(ref_draws, cand_draws))
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure process-executor scaling and verify executor bit-identity."""
+    result = ExperimentResult(
+        experiment_id="parallel_scaling",
+        title="Process-executor scaling vs the serial scatter loop [queries/sec]",
+        columns=[
+            "dataset",
+            "operation",
+            "shards",
+            "executor",
+            "qps",
+            "vs_serial_k1",
+            "identical",
+        ],
+        notes=(
+            "identical = bit-identity of the row's answers vs the serial "
+            "executor at the same K (hard invariant).  vs_serial_k1 = "
+            "throughput relative to the serial K=1 engine (advisory; "
+            "count_many work does not partition under data sharding, and on "
+            "a single-core runner process rows pay IPC with no parallel gain)."
+        ),
+    )
+    repeats = max(1, config.repeats)
+    sample_size = min(config.sample_size, 100)
+    for dataset_name in config.datasets:
+        dataset = build_dataset(config, dataset_name)
+        workload = build_workload(config, dataset, dataset_name)
+        query_array = np.asarray(list(workload), dtype=np.float64)
+
+        baselines: dict[str, float] = {}
+        for shards in PARALLEL_SHARD_SWEEP:
+            with ShardedEngine(dataset, num_shards=shards, executor="serial") as engine:
+                serial_count_qps, serial_sample_qps, counts, draws = measure_engine(
+                    engine, query_array, sample_size, repeats
+                )
+            reference = (counts, draws)
+            if shards == PARALLEL_SHARD_SWEEP[0]:
+                baselines = {"count": serial_count_qps, "sample": serial_sample_qps}
+
+            executor = ProcessExecutor(max_workers=shards)
+            try:
+                with ShardedEngine(
+                    dataset, num_shards=shards, executor=executor
+                ) as engine:
+                    process_count_qps, process_sample_qps, counts, draws = measure_engine(
+                        engine, query_array, sample_size, repeats
+                    )
+            finally:
+                executor.shutdown()
+            identical = results_identical(reference, (counts, draws))
+
+            for operation, serial_qps, process_qps in (
+                ("count", serial_count_qps, process_count_qps),
+                ("sample", serial_sample_qps, process_sample_qps),
+            ):
+                result.add_row(
+                    dataset=dataset_name,
+                    operation=operation,
+                    shards=shards,
+                    executor="serial",
+                    qps=serial_qps,
+                    vs_serial_k1=serial_qps / baselines[operation],
+                    identical=True,
+                )
+                result.add_row(
+                    dataset=dataset_name,
+                    operation=operation,
+                    shards=shards,
+                    executor="process",
+                    qps=process_qps,
+                    vs_serial_k1=process_qps / baselines[operation],
+                    identical=identical,
+                )
+    return result

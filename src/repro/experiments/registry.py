@@ -10,6 +10,7 @@ from .report import ExperimentResult
 from . import (
     exp_build_throughput,
     exp_gateway_latency,
+    exp_parallel_scaling,
     exp_recovery,
     exp_service_throughput,
     exp_throughput,
@@ -88,6 +89,11 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
         "recovery",
         "Recovery: snapshot cold start vs rebuild, WAL replay throughput",
         exp_recovery.run,
+    ),
+    "parallel_scaling": ExperimentEntry(
+        "parallel_scaling",
+        "Process-executor scaling vs the serial scatter loop (bit-identity gated)",
+        exp_parallel_scaling.run,
     ),
 }
 

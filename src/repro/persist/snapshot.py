@@ -73,27 +73,11 @@ _ID = np.int64
 _PREAMBLE = struct.Struct("<8sII")  # magic, header length, header crc32
 
 #: FlatAIT persistence schema: (array name in file, attribute on the object).
-_FLAT_CORE_FIELDS = [
-    ("centers", "_centers"),
-    ("left_child", "_left_child"),
-    ("right_child", "_right_child"),
-    ("stab_off", "_stab_off"),
-    ("stab_len", "_stab_len"),
-    ("sub_off", "_sub_off"),
-    ("sub_len", "_sub_len"),
-    ("stab_lefts", "_stab_lefts"),
-    ("stab_rights", "_stab_rights"),
-    ("sub_lefts", "_sub_lefts"),
-    ("sub_rights", "_sub_rights"),
-    ("all_ids", "_all_ids"),
-    ("all_weight_prefix", "_all_weight_prefix"),  # absent when unweighted
-]
-_FLAT_RANK_FIELDS = [
-    ("rank_stab_lefts", "_stab_lefts_key"),
-    ("rank_stab_rights", "_stab_rights_key"),
-    ("rank_sub_lefts", "_sub_lefts_key"),
-    ("rank_sub_rights", "_sub_rights_key"),
-]
+#: Owned by the snapshot class itself so every serialised form (disk files
+#: here, shared-memory segments in :mod:`repro.service.shm`) enumerates the
+#: same fields.  ``all_weight_prefix`` is absent when unweighted.
+_FLAT_CORE_FIELDS = list(FlatAIT.CORE_FIELDS)
+_FLAT_RANK_FIELDS = list(FlatAIT.RANK_KEY_FIELDS)
 
 
 def _align(offset: int) -> int:
@@ -260,40 +244,21 @@ def flat_to_arrays(flat: FlatAIT, prefix: str = "") -> dict:
 def flat_from_arrays(arrays: dict, weighted: bool, prefix: str = "") -> FlatAIT:
     """Reassemble a :class:`FlatAIT` from loaded (possibly mmap-backed) arrays.
 
-    Bypasses ``FlatAIT.__init__`` so the saved rank-key pools are adopted
-    instead of recomputed — recomputation would touch every page of an
-    mmap-backed file, defeating lazy load.  Derived scalars and views
-    (``_kind_base``, the root-sorted endpoint views, ``_rank_m``) are cheap
-    and rebuilt in place.
+    Thin file-schema wrapper over :meth:`FlatAIT.from_buffers` (which adopts
+    saved rank-key pools instead of recomputing them — recomputation would
+    touch every page of an mmap-backed file, defeating lazy load): strips the
+    name ``prefix`` and maps a malformed weighted snapshot onto the
+    persistence error contract.
     """
-    flat = FlatAIT.__new__(FlatAIT)
-    for file_name, attr in _FLAT_CORE_FIELDS:
-        array = arrays.get(prefix + file_name)
-        setattr(flat, attr, array)
-    if flat._all_weight_prefix is None and weighted:
+    named = {
+        name: arrays.get(prefix + name)
+        for name, _ in _FLAT_CORE_FIELDS + _FLAT_RANK_FIELDS
+    }
+    if named["all_weight_prefix"] is None and weighted:
         raise SnapshotCorruptError(
             "weighted snapshot is missing its all_weight_prefix array"
         )
-    flat._weighted = bool(weighted)
-    stab_total = int(flat._stab_lefts.shape[0])
-    sub_total = int(flat._sub_lefts.shape[0])
-    flat._kind_base = np.array(
-        [0, stab_total, 2 * stab_total, 2 * stab_total + sub_total], dtype=_ID
-    )
-    flat._nodes = None
-    flat._node_index = None
-    flat.built_incrementally = False
-    n_active = int(flat._sub_len[0]) if flat._centers.shape[0] else 0
-    have_keys = all(prefix + name in arrays for name, _ in _FLAT_RANK_FIELDS)
-    if have_keys:
-        for file_name, attr in _FLAT_RANK_FIELDS:
-            setattr(flat, attr, arrays[prefix + file_name])
-        flat._sorted_lefts = flat._sub_lefts[:n_active]
-        flat._sorted_rights = flat._sub_rights[:n_active]
-        flat._rank_m = n_active + 1
-    else:
-        flat._build_rank_keys()
-    return flat
+    return FlatAIT.from_buffers(named, weighted)
 
 
 def save_flat(flat: FlatAIT, path, fsync: bool = True, opener=open) -> None:

@@ -10,7 +10,7 @@ from .cumulative import (
     segmented_inverse_cdf,
     segmented_searchsorted,
 )
-from .rng import RandomState, resolve_rng, spawn_rngs
+from .rng import RandomState, resolve_rng, spawn_rngs, spawn_seeds
 from .uniform import (
     reservoir_sample,
     sample_indices_with_replacement,
@@ -32,6 +32,7 @@ __all__ = [
     "RandomState",
     "resolve_rng",
     "spawn_rngs",
+    "spawn_seeds",
     "reservoir_sample",
     "sample_indices_with_replacement",
     "sample_with_replacement",

@@ -12,7 +12,7 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["RandomState", "resolve_rng", "spawn_rngs"]
+__all__ = ["RandomState", "resolve_rng", "spawn_rngs", "spawn_seeds"]
 
 #: Anything accepted as a source of randomness by the public API.
 RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
@@ -46,6 +46,20 @@ def spawn_rngs(random_state: RandomState, count: int) -> list[np.random.Generato
     if count < 0:
         raise ValueError("count must be non-negative")
     if isinstance(random_state, np.random.Generator):
-        return [np.random.default_rng(random_state.integers(0, 2**63 - 1)) for _ in range(count)]
+        return [np.random.default_rng(seed) for seed in spawn_seeds(random_state, count)]
     seq = random_state if isinstance(random_state, np.random.SeedSequence) else np.random.SeedSequence(random_state)
     return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def spawn_seeds(rng: np.random.Generator, count: int) -> list[int]:
+    """Derive ``count`` independent integer seeds from a live generator.
+
+    The transferable form of :func:`spawn_rngs`: plain ints cross process
+    boundaries for free, and ``default_rng(seed)`` on the far side yields the
+    exact generator ``spawn_rngs`` would have built here — the engine's
+    executors rely on that for bit-identical sampling under serial, threaded
+    and process execution.  Consumes ``count`` draws from ``rng``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [int(rng.integers(0, 2**63 - 1)) for _ in range(count)]

@@ -9,24 +9,38 @@ per-shard delta logs with versioned snapshot refresh; a
 :class:`RequestGateway` that transparently coalesces concurrent single-query
 traffic into the engine's batch API under a tunable micro-batching window;
 and :class:`GatewayMetrics` telemetry (counters, batch-size histogram,
-latency percentiles).  See ``docs/ARCHITECTURE.md`` for the layer map, the
-sampling-correctness argument, and the batch-boundary consistency argument.
+latency percentiles).  Scatter-gather execution is pluggable
+(:class:`SerialExecutor` / :class:`ThreadedExecutor` /
+:class:`ProcessExecutor` — the latter fans shard ops out to long-lived
+worker processes over shared-memory snapshots, see :mod:`repro.service.shm`).
+See ``docs/ARCHITECTURE.md`` for the layer map, the sampling-correctness
+argument, and the batch-boundary consistency argument.
 """
 
 from .engine import ShardedEngine
-from .executor import SerialExecutor, ThreadedExecutor, resolve_executor
+from .executor import (
+    EXECUTOR_NAMES,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
 from .gateway import RequestGateway
 from .metrics import BatchSizeHistogram, GatewayMetrics, LatencyReservoir
 from .shard import Shard
+from .shm import ShardView
 
 __all__ = [
     "ShardedEngine",
     "Shard",
+    "ShardView",
     "RequestGateway",
     "GatewayMetrics",
     "BatchSizeHistogram",
     "LatencyReservoir",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "resolve_executor",
+    "EXECUTOR_NAMES",
 ]

@@ -31,7 +31,15 @@ version per shard.
 The scatter-gather step executes through a pluggable executor
 (:mod:`repro.service.executor`): a serial loop by default, a thread pool
 (``executor="threads"``) when shards are large enough for the GIL-releasing
-NumPy kernels to run in parallel.
+NumPy kernels to run in parallel, or long-lived worker processes
+(``executor="process"``) that attach each shard's snapshot arrays through
+``multiprocessing.shared_memory`` and execute the whole per-shard code path
+off the owner's GIL.  Whatever the executor, every per-shard op runs the same
+module-level implementation over a :class:`~repro.service.shm.ShardView`
+(:meth:`ShardedEngine._scatter`), so results are bit-identical across
+execution tiers; writes and snapshot refreshes always stay on the owner
+process, and a shard's version bump triggers re-publication of its shared
+segment.
 """
 
 from __future__ import annotations
@@ -45,9 +53,10 @@ from ..core.errors import EmptyResultError, InvalidIntervalError, StructureState
 from ..core.flat import FlatAIT
 from ..core.interval import Interval, validate_endpoints
 from ..core.query import QueryLike, validate_sample_size
-from ..sampling.rng import RandomState, resolve_rng, spawn_rngs
+from ..sampling.rng import RandomState, resolve_rng, spawn_seeds
 from .executor import resolve_executor
 from .shard import Shard
+from .shm import ShardView, run_shard_op
 
 __all__ = ["ShardedEngine"]
 
@@ -76,8 +85,10 @@ class ShardedEngine:
         sampling).  Defaults to ``dataset.is_weighted``.  Weighted engines
         reject updates, mirroring the paper's static AWIT (Section IV-A).
     executor:
-        ``None`` / ``"serial"``, ``"threads"``, or any object with an
-        order-preserving ``map(fn, items)``.
+        ``None`` / ``"serial"``, ``"threads"``, ``"process"`` (long-lived
+        worker processes reading shard snapshots from shared memory — true
+        multi-core scatter, see :class:`~repro.service.executor.ProcessExecutor`),
+        or any object with an order-preserving ``map(fn, items)``.
     batch_pool_size:
         Forwarded to each shard's tree (capacity of the paper's pooled
         insertion buffer).
@@ -205,6 +216,17 @@ class ShardedEngine:
     def parallel_refresh(self) -> bool:
         """True when shard construction / refreshes fan out over the executor."""
         return self._parallel_refresh
+
+    @property
+    def executor_kind(self) -> str:
+        """Short name of the executor serving this engine's scatter step.
+
+        ``"serial"`` / ``"threads"`` / ``"process"`` for the built-in
+        executors, the class name for a caller-supplied map object.  Exposed
+        through :meth:`RequestGateway.stats` so deployments can tell which
+        execution tier is live.
+        """
+        return getattr(self._executor, "kind", type(self._executor).__name__)
 
     @property
     def size(self) -> int:
@@ -410,11 +432,25 @@ class ShardedEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _map_shards(self, fn):
+    def _scatter(self, op: str, payload: dict) -> list:
+        """Run one named per-shard query op on every shard, in shard order.
+
+        Every executor runs the same module-level op implementations
+        (:data:`repro.service.shm.SHARD_OPS`) over :class:`ShardView`\\ s, so
+        results are bit-identical regardless of where the work executes.  An
+        executor exposing ``run_shard_op`` (the :class:`ProcessExecutor`)
+        receives the live shards and handles view placement itself —
+        republishing any shard whose snapshot version changed since its last
+        publication; plain ``map`` executors get in-process views.
+        """
+        runner = getattr(self._executor, "run_shard_op", None)
+        if runner is not None:
+            return runner(self._shards, op, payload)
+        views = [ShardView.of_shard(shard) for shard in self._shards]
         # list(): the executor contract only promises an order-preserving
         # map; a lazy iterator (e.g. a raw ThreadPoolExecutor) must be
         # drained before the merge steps index or reduce the rows.
-        return list(self._executor.map(fn, self._shards))
+        return list(self._executor.map(lambda view: run_shard_op(op, view, payload), views))
 
     # ------------------------------------------------------------------ #
     # updates
@@ -568,25 +604,21 @@ class ShardedEngine:
         """``|q ∩ X|`` per query: per-shard flat counts, merged by summation."""
         ql, qr = FlatAIT.coerce_queries(queries)
         self.refresh()
-        rows = self._map_shards(lambda shard: shard.snapshot._count_many(ql, qr))
+        rows = self._scatter("count", {"ql": ql, "qr": qr})
         return np.sum(rows, axis=0, dtype=_ID) if rows else np.zeros(ql.shape[0], dtype=_ID)
 
     def total_weight_many(self, queries) -> np.ndarray:
         """Total weight of ``q ∩ X`` per query (counts for unweighted engines)."""
         ql, qr = FlatAIT.coerce_queries(queries)
         self.refresh()
-        rows = self._map_shards(lambda shard: shard.snapshot._total_weight_many(ql, qr))
+        rows = self._scatter("total_weight", {"ql": ql, "qr": qr})
         return np.sum(rows, axis=0, dtype=_F8) if rows else np.zeros(ql.shape[0], dtype=_F8)
 
     def report_many(self, queries) -> list[np.ndarray]:
         """Overlapping global ids per query, shard-major (per-shard traversal order)."""
         ql, qr = FlatAIT.coerce_queries(queries)
         self.refresh()
-
-        def shard_report(shard: Shard) -> list[np.ndarray]:
-            return [shard.to_global(chunk) for chunk in shard.snapshot._report_many(ql, qr)]
-
-        per_shard = self._map_shards(shard_report)
+        per_shard = self._scatter("report", {"ql": ql, "qr": qr})
         nq = int(ql.shape[0])
         if nq == 0:
             return []
@@ -622,11 +654,11 @@ class ShardedEngine:
         num_shards = len(self._shards)
 
         if self._weighted:
-            masses = self._map_shards(lambda shard: shard.snapshot._total_weight_many(ql, qr))
+            masses = self._scatter("total_weight", {"ql": ql, "qr": qr})
         else:
-            masses = self._map_shards(
-                lambda shard: shard.snapshot._count_many(ql, qr).astype(_F8)
-            )
+            masses = [
+                row.astype(_F8) for row in self._scatter("count", {"ql": ql, "qr": qr})
+            ]
         mass = np.stack(masses) if nq else np.zeros((num_shards, 0), dtype=_F8)
         totals = mass.sum(axis=0)
         answerable = totals > 0
@@ -644,35 +676,17 @@ class ShardedEngine:
         pvals = (mass[:, live] / totals[live]).T  # (n_live, K)
         alloc = rng.multinomial(sample_size, pvals)  # (n_live, K)
 
-        # Independent child generators, derived *before* dispatch, make the
-        # result deterministic under any executor (no shared-stream races).
-        shard_rngs = spawn_rngs(rng, num_shards)
-
-        def shard_draw(shard: Shard):
-            counts = alloc[:, shard.shard_id]
-            selected = np.flatnonzero(counts > 0)
-            if selected.shape[0] == 0:
-                return selected, counts, []
-            shard_rng = shard_rngs[shard.shard_id]
-            # The flat engine draws one fixed sample count per batch, so
-            # bucket the queries by the power-of-two ceiling of their
-            # allocation: each bucket draws its own max (over-draw bounded at
-            # 2x) instead of every query drawing the shard-wide max.
-            caps = counts[selected]
-            levels = np.ceil(np.log2(caps)).astype(_ID)
-            rows: list[np.ndarray] = [empty] * selected.shape[0]
-            for level in np.unique(levels):
-                members = np.flatnonzero(levels == level)
-                bucket = selected[members]
-                cap = int(caps[members].max())
-                drawn = shard.snapshot._sample_many(
-                    ql[live][bucket], qr[live][bucket], cap, shard_rng
-                )
-                for position, row in zip(members, drawn):
-                    rows[int(position)] = shard.to_global(row)
-            return selected, counts, rows
-
-        per_shard = self._map_shards(shard_draw)
+        # Independent per-shard seeds, derived *before* dispatch, make the
+        # result deterministic under any executor (no shared-stream races):
+        # each shard task builds its own generator from its seed, and plain
+        # ints cross the process boundary for free.  The per-shard draw
+        # itself lives in repro.service.shm._op_sample (power-of-two
+        # allocation bucketing, global-id mapping).
+        seeds = spawn_seeds(rng, num_shards)
+        per_shard = self._scatter(
+            "sample",
+            {"ql": ql[live], "qr": qr[live], "alloc": alloc, "seeds": seeds},
+        )
 
         # Stage 3: merge per-shard prefixes into one (n_live, s) matrix ...
         merged = np.empty((n_live, sample_size), dtype=_ID)

@@ -6,30 +6,54 @@ results.  How those per-shard calls execute is a deployment decision, not a
 correctness one, so it is factored out behind a tiny executor protocol: any
 object with ``map(fn, items) -> list`` (order-preserving) works.
 
-Two implementations ship with the library:
+Three implementations ship with the library:
 
 * :class:`SerialExecutor` — a plain loop.  Zero overhead, the right default
   for small batches and for debugging.
 * :class:`ThreadedExecutor` — a ``concurrent.futures.ThreadPoolExecutor``
   wrapper.  The per-shard work is dominated by NumPy kernels that release the
   GIL, so threads give real parallelism on multi-core machines without any
-  serialisation cost.
+  serialisation cost — but the Python-level dispatch around those kernels
+  still contends on one GIL.
+* :class:`ProcessExecutor` — long-lived worker *processes* that attach each
+  shard's snapshot arrays once via ``multiprocessing.shared_memory`` and then
+  receive only compact per-batch task descriptors (op name + query arrays +
+  per-shard RNG seeds).  True multi-core execution for the whole per-shard
+  code path, not just the kernels.  See :mod:`repro.service.shm` for the
+  segment layout and worker protocol.
 
 Determinism note: the engine never shares one RNG across concurrently
-executing shard tasks — it derives one child generator per shard up front
-(:func:`repro.sampling.rng.spawn_rngs`), so sampling results are identical
-under either executor.
+executing shard tasks — it derives one integer seed per shard up front
+(:func:`repro.sampling.rng.spawn_seeds`) and each shard task builds its own
+generator from it, so sampling results are bit-identical under every
+executor, across process boundaries included.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import queue as queue_module
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, TypeVar
+from typing import Callable, Iterable, Optional, TypeVar
 
-__all__ = ["SerialExecutor", "ThreadedExecutor", "resolve_executor"]
+from .shm import publish_shard, worker_main
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "EXECUTOR_NAMES",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Executor names accepted by :func:`resolve_executor` (and therefore by the
+#: ``executor=`` argument of :class:`ShardedEngine` and the service CLIs).
+EXECUTOR_NAMES = ("serial", "threads", "process")
 
 
 class SerialExecutor:
@@ -40,6 +64,8 @@ class SerialExecutor:
     >>> SerialExecutor().map(lambda x: x * x, [1, 2, 3])
     [1, 4, 9]
     """
+
+    kind = "serial"
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item, in order."""
@@ -69,6 +95,8 @@ class ThreadedExecutor:
     >>> executor.shutdown()
     """
 
+    kind = "threads"
+
     def __init__(self, max_workers: int | None = None) -> None:
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
 
@@ -84,22 +112,276 @@ class ThreadedExecutor:
         return "ThreadedExecutor()"
 
 
+class _Worker:
+    """Parent-side record of one worker process and its published shards."""
+
+    __slots__ = ("process", "tasks", "results", "manifests")
+
+    def __init__(self, process, tasks, results) -> None:
+        self.process = process
+        self.tasks = tasks
+        self.results = results
+        #: key -> manifest of the *current* segment served by this worker;
+        #: replayed verbatim into a respawned worker after a crash.
+        self.manifests: dict[str, dict] = {}
+
+
+class ProcessExecutor:
+    """Scatter per-shard query ops over long-lived worker processes.
+
+    Workers are spawned lazily on the first :meth:`run_shard_op` call (one
+    per CPU core, capped at ``max_workers`` and at the shard count) with the
+    ``spawn`` start method — safe regardless of what threads the parent runs
+    (gateway dispatcher, WAL fsyncs).  Shards are assigned to workers
+    statically (``shard index mod workers``); each worker attaches a shard's
+    shared-memory segment once per published version and serves every later
+    batch from that mapping, so steady-state batches ship only task
+    descriptors.
+
+    For the engine's *structural* work — shard construction, delta-log
+    refreshes — :meth:`map` degrades to a serial in-process loop on purpose:
+    writes mutate the owner's trees and must stay on the owner process (the
+    snapshot refresh then republishes, see :meth:`run_shard_op`).
+
+    A ``ProcessExecutor`` is engine-affine: share one instance across engines
+    only sequentially, never concurrently.  Crashed workers are respawned
+    transparently: the parent keeps every current segment and manifest, and a
+    replacement worker re-attaches before the interrupted batch is retried
+    (ops are read-only, so retries are safe).
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-process cap; defaults to the CPU count.
+    op_timeout:
+        Seconds to wait for one worker reply before declaring the batch hung
+        (a deadlocked-but-alive worker); generous by default because CI
+        machines stall.
+    """
+
+    kind = "process"
+
+    def __init__(self, max_workers: int | None = None, op_timeout: float = 120.0) -> None:
+        self._ctx = multiprocessing.get_context("spawn")
+        self._max_workers = max_workers
+        self._op_timeout = float(op_timeout)
+        self._workers: list[_Worker] = []
+        #: key -> (published shard version, parent-held ShardSegment).
+        self._published: dict[str, tuple[int, object]] = {}
+        self._closed = False
+
+    # -- executor protocol ---------------------------------------------- #
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Structural fallback: apply ``fn`` in-process, in order.
+
+        Shard builds and refreshes mutate owner-process state that cannot
+        (and must not) cross the process boundary; only the read-only query
+        ops of :meth:`run_shard_op` fan out to the workers.
+        """
+        return [fn(item) for item in items]
+
+    def shutdown(self) -> None:
+        """Stop every worker, release every shared-memory segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker.process.is_alive():
+                try:
+                    worker.tasks.put(("stop",))
+                except (OSError, ValueError):  # queue already torn down
+                    pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - wedged worker
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            worker.tasks.close()
+            worker.results.close()
+        self._workers.clear()
+        for _, segment in self._published.values():
+            segment.unlink()
+        self._published.clear()
+
+    def __del__(self):  # pragma: no cover - gc-time best effort
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessExecutor(workers={len(self._workers)})"
+
+    # -- introspection / test hooks ------------------------------------- #
+    @property
+    def num_workers(self) -> int:
+        """Live worker-process count (0 before the first scatter)."""
+        return len(self._workers)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the worker processes (test / ops introspection)."""
+        return [worker.process.pid for worker in self._workers]
+
+    def kill_worker(self, index: int = 0) -> None:
+        """SIGKILL one worker (crash-recovery tests); the next scatter respawns it."""
+        worker = self._workers[index]
+        worker.process.kill()
+        worker.process.join(timeout=10.0)
+
+    # -- scatter-gather -------------------------------------------------- #
+    def run_shard_op(self, shards, op: str, payload: dict) -> list:
+        """Run one named per-shard op over every shard, in shard order.
+
+        Publishes (or republishes) any shard whose snapshot version differs
+        from the last published one — the refresh/publish protocol: writes
+        fold into snapshots on the owner process at batch boundaries, and the
+        version bump is what triggers re-exporting the shared segment here.
+        Superseded segments are unlinked once their replacement is attached.
+        """
+        if self._closed:
+            raise RuntimeError("ProcessExecutor is shut down")
+        shards = list(shards)
+        self._ensure_workers(len(shards))
+        width = len(self._workers)
+
+        keys = [f"shard-{id(shard):x}" for shard in shards]
+        for index, (shard, key) in enumerate(zip(shards, keys)):
+            entry = self._published.get(key)
+            if entry is not None and entry[0] == shard.version:
+                continue
+            segment = publish_shard(shard)
+            worker = self._workers[index % width]
+            self._request(worker, ("publish", key, segment.manifest))
+            worker.manifests[key] = segment.manifest
+            if entry is not None:
+                entry[1].unlink()
+            self._published[key] = (shard.version, segment)
+
+        per_worker: list[list[int]] = [[] for _ in range(width)]
+        for index in range(len(shards)):
+            per_worker[index % width].append(index)
+        busy = [w for w in range(width) if per_worker[w]]
+        for w in busy:
+            self._send(
+                self._workers[w], ("op", op, payload, [keys[i] for i in per_worker[w]])
+            )
+
+        results: list = [None] * len(shards)
+        for w in busy:
+            worker = self._workers[w]
+            replay = ("op", op, payload, [keys[i] for i in per_worker[w]])
+            rows = self._await(worker, resend=replay)
+            for index, row in zip(per_worker[w], rows):
+                results[index] = row
+        return results
+
+    # -- internals ------------------------------------------------------- #
+    def _ensure_workers(self, num_shards: int) -> None:
+        if self._workers:
+            return
+        width = self._max_workers or os.cpu_count() or 1
+        width = max(1, min(int(width), int(num_shards) or 1))
+        for _ in range(width):
+            self._workers.append(self._spawn())
+
+    def _spawn(self) -> _Worker:
+        tasks = self._ctx.Queue()
+        results = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main, args=(tasks, results), daemon=True
+        )
+        process.start()
+        return _Worker(process, tasks, results)
+
+    def _respawn(self, worker: _Worker) -> None:
+        """Replace a dead worker in place and replay its current manifests."""
+        worker.process.join(timeout=1.0)
+        worker.tasks.close()
+        worker.results.close()
+        fresh = self._spawn()
+        worker.process, worker.tasks, worker.results = (
+            fresh.process,
+            fresh.tasks,
+            fresh.results,
+        )
+        for key, manifest in worker.manifests.items():
+            self._request(worker, ("publish", key, manifest))
+
+    def _send(self, worker: _Worker, message: tuple) -> None:
+        if not worker.process.is_alive():
+            self._respawn(worker)
+        worker.tasks.put(message)
+
+    def _request(self, worker: _Worker, message: tuple):
+        """Send one message and wait for its reply (used for publishes)."""
+        self._send(worker, message)
+        return self._await(worker, resend=message)
+
+    def _await(self, worker: _Worker, resend: Optional[tuple] = None):
+        """Collect one reply; on worker death, respawn, replay, and retry.
+
+        Liveness-checked waiting, not sleeps: the queue is polled on a short
+        timeout purely so a crashed worker is noticed promptly; a successful
+        reply returns as soon as it arrives.  Respawns are capped — a worker
+        that cannot survive long enough to answer (e.g. an environment where
+        the spawned interpreter cannot re-import the program) surfaces as an
+        error instead of an endless crash/respawn loop.
+        """
+        deadline = time.monotonic() + self._op_timeout
+        respawns = 0
+        while True:
+            try:
+                status, value = worker.results.get(timeout=0.1)
+            except queue_module.Empty:
+                if not worker.process.is_alive():
+                    respawns += 1
+                    if resend is None or respawns > 3:
+                        raise RuntimeError(
+                            "shard worker died "
+                            + (f"{respawns} times in a row" if resend else "during publish replay")
+                            + "; if this happened at the first scatter, the usual cause "
+                            "is a __main__ module the spawned interpreter cannot "
+                            "re-import (run under an `if __name__ == '__main__':` "
+                            "guard, and not from stdin)"
+                        )
+                    self._respawn(worker)
+                    worker.tasks.put(resend)
+                    deadline = time.monotonic() + self._op_timeout
+                    continue
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"shard worker (pid {worker.process.pid}) did not reply "
+                        f"within {self._op_timeout:.0f}s"
+                    )
+                continue
+            if status == "error":
+                raise RuntimeError(f"shard worker failed:\n{value}")
+            return value
+
+
 def resolve_executor(executor) -> tuple[object, bool]:
     """Coerce the ``executor`` argument of :class:`ShardedEngine`.
 
     Accepts ``None`` / ``"serial"`` (a :class:`SerialExecutor`),
-    ``"threads"`` (a fresh :class:`ThreadedExecutor`) or any object exposing
-    an order-preserving ``map(fn, items)``.  Returns ``(executor, owned)``
-    where ``owned`` tells the engine whether it created the executor and is
-    therefore responsible for shutting it down.
+    ``"threads"`` (a fresh :class:`ThreadedExecutor`), ``"process"`` (a fresh
+    :class:`ProcessExecutor`) or any object exposing an order-preserving
+    ``map(fn, items)``.  Returns ``(executor, owned)`` where ``owned`` tells
+    the engine whether it created the executor and is therefore responsible
+    for shutting it down.  Unknown names raise :class:`ValueError`; objects
+    without a ``map`` method raise :class:`TypeError`.
     """
     if executor is None or executor == "serial":
         return SerialExecutor(), True
     if executor == "threads":
         return ThreadedExecutor(), True
+    if executor == "process":
+        return ProcessExecutor(), True
+    if isinstance(executor, str):
+        names = ", ".join(repr(name) for name in EXECUTOR_NAMES)
+        raise ValueError(f"unknown executor name {executor!r}: expected one of {names}")
     if callable(getattr(executor, "map", None)):
         return executor, False
     raise TypeError(
-        "executor must be None, 'serial', 'threads' or an object with a "
-        f"map(fn, items) method, got {executor!r}"
+        "executor must be None, 'serial', 'threads', 'process' or an object "
+        f"with a map(fn, items) method, got {executor!r}"
     )

@@ -190,10 +190,22 @@ class RequestGateway:
         )
 
     def stats(self) -> dict:
-        """JSON-ready telemetry snapshot (counters, batch histogram, latency percentiles)."""
-        return self._metrics.snapshot()
+        """JSON-ready telemetry snapshot (counters, batch histogram, latency percentiles).
 
-    def close(self, timeout: Optional[float] = None) -> None:
+        Besides the request/batch counters the snapshot reports an
+        ``"engine"`` section describing the serving stack behind the
+        gateway — most usefully which execution tier is live
+        (``executor: "serial" | "threads" | "process"``).
+        """
+        out = self._metrics.snapshot()
+        engine = self._engine
+        out["engine"] = {
+            "executor": getattr(engine, "executor_kind", type(engine).__name__),
+            "num_shards": getattr(engine, "num_shards", 1),
+        }
+        return out
+
+    def close(self, timeout: Optional[float] = None, close_engine: bool = False) -> None:
         """Stop accepting requests, flush everything queued, join the dispatcher.
 
         Pending futures are *completed*, not cancelled: the dispatcher
@@ -202,6 +214,13 @@ class RequestGateway:
         acknowledged write is durable by the time the caller regains
         control.  Idempotent; submits after close raise
         :class:`~repro.core.errors.GatewayClosedError`.
+
+        ``close_engine=True`` additionally closes the engine once the
+        dispatcher has drained — the one-call teardown for process-executor
+        deployments: the engine's ``close`` shuts down an owned executor,
+        which stops its worker processes and unlinks every shared-memory
+        segment.  The ordering matters and is guaranteed here: workers go
+        down only *after* the last micro-batch has been answered.
         """
         with self._close_lock:
             if self._closed:
@@ -213,6 +232,10 @@ class RequestGateway:
         else:
             self._drain_all()
         self._sync_writes()
+        if close_engine:
+            closer = getattr(self._engine, "close", None)
+            if closer is not None:
+                closer()
 
     def __enter__(self) -> "RequestGateway":
         return self

@@ -165,6 +165,16 @@ class Shard:
         assert self._snapshot is not None  # established by __init__
         return self._snapshot
 
+    @property
+    def global_map(self) -> np.ndarray:
+        """Local→global id map aligned with the current snapshot.
+
+        Frozen at the last :meth:`refresh` alongside the snapshot — buffered
+        writes do not move it — so it is safe to publish to executor workers
+        together with the snapshot arrays (:mod:`repro.service.shm`).
+        """
+        return self._global_map
+
     def nbytes(self) -> int:
         """Approximate memory footprint: tree structure plus flat snapshot.
 

@@ -1,0 +1,358 @@
+"""Shared-memory shard views and the process-executor worker protocol.
+
+The engine's scatter-gather step runs one *op* per shard per batch.  For the
+in-process executors the op closes over the live :class:`~repro.service.shard.Shard`;
+for :class:`~repro.service.executor.ProcessExecutor` the shard must be visible
+from another process without pickling an engine.  This module provides both
+sides of that bridge:
+
+* :class:`ShardView` — the minimal read surface an op needs: shard id, the
+  :class:`~repro.core.flat.FlatAIT` snapshot, and the local→global id map.
+  Every executor runs the *same* module-level op functions over views, so
+  results are bit-identical by construction; only where the view's arrays
+  live differs.
+* :func:`publish_shard` / :func:`attach_segment` — one
+  ``multiprocessing.shared_memory`` segment per (shard, version): the
+  snapshot's arrays (:meth:`FlatAIT.to_buffers`, derived rank keys included
+  so workers never recompute) plus the global id map, copied once behind a
+  JSON-able manifest of (name, dtype, shape, offset) entries.  Workers
+  rebuild zero-copy views with :meth:`FlatAIT.from_buffers`.
+* :func:`worker_main` — the long-lived worker loop: attach segments on
+  ``publish`` messages (replacing any prior version of the same shard), run
+  op batches on ``op`` messages, exit on ``stop``.  Workers never mutate
+  anything: writes and snapshot refreshes stay on the owner process, and a
+  version bump simply republishes the shard's segment.
+
+The op payloads are compact per-batch task descriptors — query endpoint
+arrays, per-shard draw allocations, per-shard RNG *seeds* (plain ints, see
+:func:`repro.sampling.rng.spawn_seeds`) — never engines or closures.
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+import numpy as np
+
+from ..core.flat import FlatAIT
+
+__all__ = [
+    "ShardView",
+    "run_shard_op",
+    "publish_shard",
+    "attach_segment",
+    "worker_main",
+    "SHARD_OPS",
+]
+
+_ID = np.int64
+_F8 = np.float64
+
+#: Segment alignment for array starts — one cache line, and a multiple of
+#: every dtype itemsize in the schema.
+_ALIGN = 64
+
+
+class ShardView:
+    """The read-only face of one shard: snapshot + id map, nothing else.
+
+    Built either from a live :class:`~repro.service.shard.Shard` (in-process
+    executors; the arrays are the shard's own) or from a shared-memory
+    segment (:func:`attach_segment`; the arrays are zero-copy views into the
+    segment, and ``segment`` pins the mapping alive).
+    """
+
+    __slots__ = ("shard_id", "snapshot", "global_map", "segment")
+
+    def __init__(
+        self,
+        shard_id: int,
+        snapshot: FlatAIT,
+        global_map: np.ndarray,
+        segment: Optional[shared_memory.SharedMemory] = None,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.snapshot = snapshot
+        self.global_map = global_map
+        self.segment = segment
+
+    @classmethod
+    def of_shard(cls, shard) -> "ShardView":
+        """View a live shard directly (serial / threaded execution)."""
+        return cls(shard.shard_id, shard.snapshot, shard.global_map)
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        """Map shard-local interval ids to engine-global ids."""
+        if local_ids.shape[0] == 0:
+            return local_ids
+        return self.global_map[local_ids]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = "shm" if self.segment is not None else "local"
+        return f"ShardView(shard_id={self.shard_id}, backing={where!r})"
+
+
+# ---------------------------------------------------------------------- #
+# per-shard ops (the one implementation every executor runs)
+# ---------------------------------------------------------------------- #
+def _op_count(view: ShardView, payload: dict) -> np.ndarray:
+    return view.snapshot._count_many(payload["ql"], payload["qr"])
+
+
+def _op_total_weight(view: ShardView, payload: dict) -> np.ndarray:
+    return view.snapshot._total_weight_many(payload["ql"], payload["qr"])
+
+
+def _op_report(view: ShardView, payload: dict) -> list[np.ndarray]:
+    return [
+        view.to_global(chunk)
+        for chunk in view.snapshot._report_many(payload["ql"], payload["qr"])
+    ]
+
+
+def _op_sample(view: ShardView, payload: dict):
+    """Stage 2 of the engine's two-stage sampler, for one shard.
+
+    ``payload`` carries the *live* query endpoints, the stage-1 multinomial
+    allocation matrix ``alloc`` (queries x shards) and one integer RNG seed
+    per shard; this shard reads its own column and seed.  Queries are
+    bucketed by the power-of-two ceiling of their allocation — the flat
+    engine draws one fixed sample count per batch, so each bucket draws its
+    own max (over-draw bounded at 2x) instead of every query drawing the
+    shard-wide max.  Returns ``(selected, counts, rows)`` with rows already
+    mapped to global ids.
+    """
+    counts = payload["alloc"][:, view.shard_id]
+    selected = np.flatnonzero(counts > 0)
+    if selected.shape[0] == 0:
+        return selected, counts, []
+    ql, qr = payload["ql"], payload["qr"]
+    rng = np.random.default_rng(payload["seeds"][view.shard_id])
+    caps = counts[selected]
+    levels = np.ceil(np.log2(caps)).astype(_ID)
+    empty = np.empty(0, dtype=_ID)
+    rows: list[np.ndarray] = [empty] * selected.shape[0]
+    for level in np.unique(levels):
+        members = np.flatnonzero(levels == level)
+        bucket = selected[members]
+        cap = int(caps[members].max())
+        drawn = view.snapshot._sample_many(ql[bucket], qr[bucket], cap, rng)
+        for position, row in zip(members, drawn):
+            rows[int(position)] = view.to_global(row)
+    return selected, counts, rows
+
+
+#: Op name -> implementation.  Names, not functions, cross the process
+#: boundary, so the dispatch table must agree between parent and workers —
+#: both sides read this one dict.
+SHARD_OPS = {
+    "count": _op_count,
+    "total_weight": _op_total_weight,
+    "report": _op_report,
+    "sample": _op_sample,
+}
+
+
+def run_shard_op(op: str, view: ShardView, payload: dict):
+    """Execute one named per-shard op over a view (any executor, any process)."""
+    return SHARD_OPS[op](view, payload)
+
+
+# ---------------------------------------------------------------------- #
+# shared-memory publication
+# ---------------------------------------------------------------------- #
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class ShardSegment:
+    """Parent-side handle for one published (shard, version) segment.
+
+    Owns the :class:`SharedMemory` block — the parent must keep the handle
+    alive while any worker might (re)attach by name, and calls
+    :meth:`unlink` exactly once when the segment is superseded by a newer
+    version or the executor shuts down.
+    """
+
+    __slots__ = ("shm", "manifest")
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: dict) -> None:
+        self.shm = shm
+        self.manifest = manifest
+
+    def unlink(self) -> None:
+        """Release the parent mapping and remove the segment's name.
+
+        Workers still holding the old mapping keep reading it safely (POSIX
+        shm lives until the last close); no new attach can find it.
+        """
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except (OSError, BufferError):  # already gone / still exported
+            pass
+
+
+def publish_shard(shard) -> ShardSegment:
+    """Copy one shard's snapshot + id map into a fresh shared-memory segment.
+
+    The segment packs every array of :meth:`FlatAIT.to_buffers` (core arrays
+    *and* the derived rank-key pools — attaching must not recompute them)
+    plus the shard's ``global_map``, each aligned to ``_ALIGN`` bytes, behind
+    a picklable manifest.  One segment per (shard, version): the caller
+    republishes on version bumps and unlinks the superseded segment.
+    """
+    arrays = dict(shard.snapshot.to_buffers())
+    arrays["global_map"] = shard.global_map
+
+    entries: list[dict] = []
+    sized: list[tuple[dict, np.ndarray]] = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        entry = {
+            "name": name,
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+        }
+        entries.append(entry)
+        sized.append((entry, array))
+        offset += int(array.nbytes)
+
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for entry, array in sized:
+        if array.nbytes == 0:
+            continue
+        dst = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=shm.buf, offset=entry["offset"]
+        )
+        dst[...] = array
+        del dst  # drop the buffer export before any later close()
+
+    manifest = {
+        "shm": shm.name,
+        "shard_id": int(shard.shard_id),
+        "version": int(shard.version),
+        "weighted": bool(shard.snapshot.is_weighted),
+        "arrays": entries,
+    }
+    return ShardSegment(shm, manifest)
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting cleanup responsibility.
+
+    Python < 3.13 registers *every* attach with the resource tracker, whose
+    exit handler would unlink the segment out from under its owner (and,
+    when parent and children share one tracker process, an attach-side
+    register/unregister pair corrupts the owner's bookkeeping).  Suppress
+    the registration during the attach instead; 3.13+ has ``track=False``
+    for exactly this.  Worker processes handle one message at a time, so the
+    temporary monkeypatch cannot race.
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    original = resource_tracker.register
+
+    def _skip_shared_memory(rname, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def attach_segment(manifest: dict) -> ShardView:
+    """Rebuild a zero-copy :class:`ShardView` from a published manifest.
+
+    Every array is an ``np.ndarray`` view straight into the mapped segment
+    (read-only — snapshot state is immutable by construction), assembled
+    into a :class:`FlatAIT` via :meth:`FlatAIT.from_buffers` so the saved
+    rank-key pools are adopted, not recomputed.  The returned view holds the
+    ``SharedMemory`` object so the mapping outlives the attach scope.
+    """
+    shm = _attach_shm(manifest["shm"])
+    arrays: dict[str, np.ndarray] = {}
+    for entry in manifest["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        if int(np.prod(shape)) == 0:
+            array = np.empty(shape, dtype=dtype)
+        else:
+            array = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=entry["offset"])
+        array.setflags(write=False)
+        arrays[entry["name"]] = array
+    global_map = arrays.pop("global_map")
+    snapshot = FlatAIT.from_buffers(arrays, bool(manifest["weighted"]))
+    return ShardView(manifest["shard_id"], snapshot, global_map, segment=shm)
+
+
+def _release_view(view: ShardView) -> None:
+    """Drop a view's arrays and close its segment mapping (best effort)."""
+    shm = view.segment
+    view.segment = None
+    view.snapshot = None
+    view.global_map = None
+    if shm is not None:
+        try:
+            shm.close()
+        except BufferError:  # a stray export keeps the mapping until exit
+            pass
+
+
+# ---------------------------------------------------------------------- #
+# worker process
+# ---------------------------------------------------------------------- #
+def worker_main(tasks, results) -> None:
+    """Long-lived worker loop for :class:`ProcessExecutor`.
+
+    Messages (FIFO per worker; the parent awaits one reply per request, so
+    replies never interleave):
+
+    * ``("publish", key, manifest)`` — attach the segment and serve ``key``
+      from it, replacing (and closing) any previous version; reply
+      ``("ok", None)``.
+    * ``("op", op, payload, keys)`` — run the named op for every ``key`` in
+      order; reply ``("ok", [result, ...])``.
+    * ``("stop",)`` — release every mapping and exit (no reply).
+
+    Any exception is caught and reported as ``("error", traceback_text)`` —
+    the worker survives and keeps serving.
+    """
+    views: dict[str, ShardView] = {}
+    try:
+        while True:
+            message = tasks.get()
+            kind = message[0]
+            if kind == "stop":
+                break
+            try:
+                if kind == "publish":
+                    _, key, manifest = message
+                    old = views.pop(key, None)
+                    views[key] = attach_segment(manifest)
+                    if old is not None:
+                        _release_view(old)
+                    results.put(("ok", None))
+                elif kind == "op":
+                    _, op, payload, keys = message
+                    results.put(
+                        ("ok", [run_shard_op(op, views[key], payload) for key in keys])
+                    )
+                else:
+                    results.put(("error", f"unknown worker message kind {kind!r}"))
+            except BaseException as exc:
+                results.put(
+                    ("error", "".join(traceback.format_exception(exc)).strip())
+                )
+    finally:
+        for view in views.values():
+            _release_view(view)

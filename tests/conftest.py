@@ -3,14 +3,65 @@
 The fixtures provide (a) a small handcrafted dataset mirroring the running
 example of the paper (Fig. 2), (b) factories for random datasets of various
 shapes, and (c) helpers to compute ground truth by brute force.
+
+The module also enforces hang hygiene for the multiprocess execution tier
+(ISSUE 7): every test gets a wall-clock budget delivered by ``SIGALRM``
+(default :data:`DEFAULT_TEST_TIMEOUT` seconds, override per test with
+``@pytest.mark.timeout(seconds)``), so a deadlocked worker queue fails one
+test with a ``TimeoutError`` and a live traceback instead of wedging the
+whole suite.  The pytest built-in ``faulthandler_timeout`` (set in
+``pyproject.toml``) is the backstop for hangs inside C code that never
+releases the GIL: it dumps all thread stacks before the CI job is killed.
 """
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 from repro import Interval, IntervalDataset
+
+#: Per-test wall-clock budget (seconds).  Generous: the slowest legitimate
+#: tests (process-executor spawns, kill-and-recover) finish in well under a
+#: minute; anything that hits this is hung, not slow.
+DEFAULT_TEST_TIMEOUT = 120.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Abort any test that exceeds its wall-clock budget with a TimeoutError.
+
+    Pure stdlib (``signal.setitimer``), POSIX-only, main-thread-only — on
+    any other platform or thread the hook degrades to a no-op and the
+    ``faulthandler_timeout`` backstop still applies.
+    """
+    marker = item.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else DEFAULT_TEST_TIMEOUT
+    usable = (
+        seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def on_alarm(signum, frame):  # pragma: no cover - only fires on a hang
+        raise TimeoutError(
+            f"test exceeded its {seconds:.0f}s wall-clock budget "
+            f"(override with @pytest.mark.timeout(seconds))"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -33,6 +33,7 @@ from repro import (
     WALCorruptError,
 )
 from repro.core.query import coerce_query, coerce_query_batch, validate_sample_size
+from repro.service import EXECUTOR_NAMES, resolve_executor
 
 
 def _dataset(n: int = 8) -> IntervalDataset:
@@ -227,3 +228,46 @@ class TestServiceStateErrors:
             with RequestGateway(engine, max_wait_ms=1.0) as gateway:
                 with pytest.raises(InvalidQueryError, match=r"Interval or a \(left, right\) pair"):
                     gateway.submit("count", object())
+
+
+# --------------------------------------------------------------------------- #
+# executor resolution (resolve_executor)
+# --------------------------------------------------------------------------- #
+class TestExecutorResolution:
+    @pytest.mark.parametrize("name", ["serial", "threads", "process"])
+    def test_known_names_resolve_and_are_owned(self, name):
+        executor, owned = resolve_executor(name)
+        try:
+            assert owned is True
+            assert executor.kind == name
+            assert name in EXECUTOR_NAMES
+        finally:
+            executor.shutdown()
+
+    @pytest.mark.parametrize("name", ["processes", "thread", "fork", ""])
+    def test_unknown_name_raises_value_error(self, name):
+        with pytest.raises(
+            ValueError,
+            match=r"unknown executor name .*: expected one of 'serial', 'threads', 'process'",
+        ):
+            resolve_executor(name)
+
+    def test_non_map_object_raises_type_error(self):
+        with pytest.raises(
+            TypeError, match=r"executor must be None, 'serial', 'threads', 'process' or an object"
+        ):
+            resolve_executor(object())
+
+    def test_map_object_is_adopted_not_owned(self):
+        class MapOnly:
+            def map(self, fn, items):
+                return [fn(item) for item in items]
+
+        custom = MapOnly()
+        executor, owned = resolve_executor(custom)
+        assert executor is custom
+        assert owned is False
+
+    def test_engine_surfaces_unknown_executor_name(self):
+        with pytest.raises(ValueError, match=r"unknown executor name 'procces'"):
+            ShardedEngine(_dataset(), num_shards=2, executor="procces")

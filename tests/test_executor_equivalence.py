@@ -1,0 +1,191 @@
+"""Cross-executor equivalence: serial, threaded and process tiers are bit-identical.
+
+The acceptance bar (ISSUE 7) is that moving the scatter step off the owner
+process is *observationally invisible*: for the same dataset, the same
+queries and the same seed, ``SerialExecutor``, ``ThreadedExecutor`` and
+``ProcessExecutor`` produce bit-identical ``count_many`` /
+``total_weight_many`` / ``report_many`` rows and identical ``sample_many``
+draws — including after ``insert_many`` / ``delete_many`` and the snapshot
+refresh that republishes shared segments.  Every executor runs the same
+module-level op implementations (:data:`repro.service.shm.SHARD_OPS`), so
+equality here is an end-to-end check of the shared-memory pack/attach
+round-trip and of the publish-on-version-bump protocol, not a tautology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ShardedEngine
+from repro.service import ProcessExecutor
+
+SHARD_COUNTS = (1, 2, 4, 8)
+EXECUTORS = ("serial", "threads", "process")
+
+
+def _make_engine(dataset, num_shards, executor):
+    if executor == "process":
+        # An explicit two-worker pool exercises multi-worker routing (the
+        # round-robin shard->worker assignment) even on single-core CI boxes,
+        # where cpu_count would collapse the pool to one worker.
+        return ShardedEngine(
+            dataset, num_shards=num_shards, executor=ProcessExecutor(max_workers=2)
+        )
+    return ShardedEngine(dataset, num_shards=num_shards, executor=executor)
+
+
+def _close(engine):
+    # A caller-supplied ProcessExecutor is not owned by the engine: shut it
+    # down explicitly so worker processes and shared segments never outlive
+    # the test.
+    executor = engine._executor
+    engine.close()
+    if isinstance(executor, ProcessExecutor):
+        executor.shutdown()
+
+
+@pytest.fixture
+def dataset(make_random_dataset):
+    return make_random_dataset(n=600, seed=31)
+
+
+@pytest.fixture
+def weighted(make_random_dataset):
+    return make_random_dataset(n=400, seed=32, weighted=True)
+
+
+@pytest.fixture
+def queries(dataset, make_queries):
+    batch = []
+    for extent in (0.02, 0.1, 0.5):
+        batch.extend(make_queries(dataset, count=8, extent=extent, seed=int(extent * 1000)))
+    lo, hi = dataset.domain()
+    batch.append((lo - 1.0, hi + 1.0))   # full-domain query
+    batch.append((hi + 5.0, hi + 6.0))   # empty query
+    return batch
+
+
+def _read_all(engine, queries, seed):
+    """One deterministic read of every query op, as comparable plain arrays."""
+    counts = engine.count_many(queries)
+    weights = engine.total_weight_many(queries)
+    reports = engine.report_many(queries)
+    draws = engine.sample_many(queries, 16, random_state=np.random.default_rng(seed))
+    return counts, weights, reports, draws
+
+
+def _assert_identical(got, expected):
+    counts, weights, reports, draws = got
+    exp_counts, exp_weights, exp_reports, exp_draws = expected
+    assert np.array_equal(counts, exp_counts)
+    assert counts.dtype == exp_counts.dtype
+    # Bitwise float equality, deliberately: the per-shard reduction order is
+    # fixed (shard-major sum), so even float64 weights must match exactly.
+    assert np.array_equal(weights, exp_weights)
+    assert len(reports) == len(exp_reports)
+    for row, exp_row in zip(reports, exp_reports):
+        assert np.array_equal(row, exp_row)
+    assert len(draws) == len(exp_draws)
+    for row, exp_row in zip(draws, exp_draws):
+        assert np.array_equal(row, exp_row)
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_executors_bit_identical_static(dataset, queries, num_shards):
+    serial = _make_engine(dataset, num_shards, "serial")
+    try:
+        expected = _read_all(serial, queries, seed=901)
+    finally:
+        _close(serial)
+    for name in ("threads", "process"):
+        engine = _make_engine(dataset, num_shards, name)
+        try:
+            assert engine.executor_kind == name
+            _assert_identical(_read_all(engine, queries, seed=901), expected)
+        finally:
+            _close(engine)
+
+
+@pytest.mark.parametrize("num_shards", (2, 4))
+def test_executors_bit_identical_weighted(weighted, make_queries, num_shards):
+    batch = make_queries(weighted, count=20, extent=0.1, seed=9)
+    serial = _make_engine(weighted, num_shards, "serial")
+    try:
+        assert serial.is_weighted
+        expected = _read_all(serial, batch, seed=77)
+    finally:
+        _close(serial)
+    engine = _make_engine(weighted, num_shards, "process")
+    try:
+        _assert_identical(_read_all(engine, batch, seed=77), expected)
+    finally:
+        _close(engine)
+
+
+@pytest.mark.parametrize("num_shards", (1, 4))
+def test_executors_bit_identical_after_updates(dataset, queries, num_shards):
+    """Writes + refresh republish shared segments; reads must stay identical.
+
+    The write schedule is identical on every engine (same trial RNG seed), so
+    after each round the engines hold the same logical dataset and every read
+    must agree bit-for-bit with the serial reference — this is the randomized
+    seeded-trials form of the acceptance criterion.
+    """
+    engines = {name: _make_engine(dataset, num_shards, name) for name in EXECUTORS}
+    try:
+        for round_seed in (101, 202, 303):
+            trial = np.random.default_rng(round_seed)
+            lo, hi = dataset.domain()
+            lefts = trial.uniform(lo, hi, 12)
+            rights = lefts + trial.exponential((hi - lo) / 40.0, 12)
+            victims = trial.integers(0, len(dataset), 5)
+
+            new_ids = {}
+            for name, engine in engines.items():
+                new_ids[name] = engine.insert_many(lefts, rights)
+                engine.delete_many(victims)
+                engine.refresh()
+            # Global id assignment is part of the observable contract.
+            assert np.array_equal(new_ids["threads"], new_ids["serial"])
+            assert np.array_equal(new_ids["process"], new_ids["serial"])
+
+            expected = _read_all(engines["serial"], queries, seed=round_seed)
+            for name in ("threads", "process"):
+                _assert_identical(_read_all(engines[name], queries, seed=round_seed), expected)
+    finally:
+        for engine in engines.values():
+            _close(engine)
+
+
+def test_process_executor_survives_worker_death(dataset, queries):
+    """A killed worker respawns, replays its segment manifests and re-answers."""
+    executor = ProcessExecutor(max_workers=2)
+    engine = ShardedEngine(dataset, num_shards=4, executor=executor)
+    try:
+        expected = engine.count_many(queries)
+        before = executor.worker_pids()
+        executor.kill_worker(0)
+        assert np.array_equal(engine.count_many(queries), expected)
+        after = executor.worker_pids()
+        assert after[0] != before[0]       # a fresh process took slot 0
+        assert after[1:] == before[1:]     # the survivor kept serving
+    finally:
+        engine.close()
+        executor.shutdown()
+
+
+def test_sample_draws_match_across_seeds(dataset):
+    """Same seed => same draws; different seed => (almost surely) different."""
+    queries = [(100.0, 400.0)]
+    serial = _make_engine(dataset, 4, "serial")
+    process = _make_engine(dataset, 4, "process")
+    try:
+        a = serial.sample_many(queries, 64, random_state=np.random.default_rng(5))[0]
+        b = process.sample_many(queries, 64, random_state=np.random.default_rng(5))[0]
+        c = process.sample_many(queries, 64, random_state=np.random.default_rng(6))[0]
+        assert np.array_equal(a, b)
+        assert not np.array_equal(b, c)
+    finally:
+        _close(serial)
+        _close(process)

@@ -32,6 +32,7 @@ EXTRA_IDS = {
     "gateway_latency",
     "build_throughput",
     "recovery",
+    "parallel_scaling",
 }
 
 EXPECTED_IDS = PAPER_IDS | EXTRA_IDS

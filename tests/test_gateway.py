@@ -230,7 +230,9 @@ class TestValidationAndLifecycle:
             gateway.count((0.0, 500.0), timeout=10)
             gateway.sample((0.0, 500.0), 4, timeout=10)
             stats = gateway.stats()
-        assert set(stats) == {"requests", "completions", "errors", "batches", "latency_ms"}
+        assert set(stats) == {"requests", "completions", "errors", "batches", "latency_ms", "engine"}
+        assert stats["engine"]["executor"] == "serial"
+        assert stats["engine"]["num_shards"] >= 1
         assert stats["completions"] == {"count": 1, "sample": 1}
         for op in ("count", "sample"):
             summary = stats["latency_ms"][op]
