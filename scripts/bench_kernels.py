@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Measure FlatAIT kernel-backend throughput and emit BENCH_kernels.json.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernels.py [--out BENCH_kernels.json]
+
+For each dataset size the script rebinds the *same* snapshot arrays to every
+available kernel backend (:mod:`repro.kernels`), times ``count_many`` /
+``report_many`` / ``sample_many`` on the same workload, and records
+queries/second per (n, operation, backend) plus three derived columns:
+
+* ``vs_numpy``               — throughput relative to the numpy reference
+  backend (the curve a compiled backend exists to move; advisory, because
+  the committed baseline may not have numba importable and the ``python``
+  backend is a deliberately-slow portable loop mirror);
+* ``counts_bit_identical``   — **hard invariant**: counts and report chunks
+  are bit-identical (exact array equality) to the numpy backend's;
+* ``samples_bit_identical``  — **hard invariant**: fixed-seed sample draws
+  are bit-identical to the numpy backend's.
+
+``config.numba_available`` records whether the sweep had numba at all and
+``config.jit`` which backends actually compiled; a numba-less runner (such
+as the tier-1 CI job, which deliberately excludes the accel extra) still
+produces a valid baseline with numpy + python rows only.  JIT compilation
+is absorbed by an un-timed warm-up pass per (backend, operation), so the
+timed passes measure steady-state kernel throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import AIT, __version__  # noqa: E402
+from repro.datasets import generate_paper_dataset, generate_queries  # noqa: E402
+from repro.experiments.exp_kernel_throughput import (  # noqa: E402
+    KERNEL_OPERATIONS,
+    answers_identical,
+    backend_names,
+    flat_with_backend,
+    measure_flat,
+)
+from repro.kernels import get_backend, numba_available  # noqa: E402
+
+
+def bench_one(n: int, query_count: int, sample_size: int, repeats: int) -> list[dict]:
+    dataset = generate_paper_dataset("btc", n=n, random_state=1)
+    workload = generate_queries(dataset, count=query_count, extent_fraction=0.08, random_state=2)
+    query_array = np.asarray(list(workload), dtype=np.float64)
+
+    base = AIT(dataset).flat()
+    ql, qr = base.coerce_queries(query_array)
+
+    rows = []
+    reference: dict[str, tuple[float, object]] = {}
+    for backend in backend_names():
+        measured = measure_flat(flat_with_backend(base, backend), ql, qr, sample_size, repeats)
+        if backend == "numpy":
+            reference = measured
+        counts_identical = answers_identical(
+            reference["count"][1], measured["count"][1]
+        ) and answers_identical(reference["report"][1], measured["report"][1])
+        samples_identical = answers_identical(reference["sample"][1], measured["sample"][1])
+        for operation in KERNEL_OPERATIONS:
+            qps, _ = measured[operation]
+            ref_qps, _ = reference[operation]
+            ratio = qps / ref_qps if ref_qps > 0 else float("inf")
+            rows.append(
+                {
+                    "n": n,
+                    "operation": operation,
+                    "backend": backend,
+                    "qps": round(qps, 1),
+                    "vs_numpy": round(ratio, 3),
+                    "counts_bit_identical": bool(counts_identical),
+                    "samples_bit_identical": bool(samples_identical),
+                }
+            )
+            print(
+                f"n={n:>7} {operation:<7} {backend:<7} {qps:>12.0f} q/s"
+                f"   {ratio:6.2f}x numpy   counts={counts_identical}"
+                f" samples={samples_identical}"
+            )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
+        help="output JSON path (default: repo-root BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[100_000], help="dataset sizes"
+    )
+    parser.add_argument("--queries", type=int, default=1_000, help="queries per measurement")
+    parser.add_argument("--samples", type=int, default=100, help="samples per query")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing repetitions")
+    args = parser.parse_args(argv)
+
+    results = []
+    for n in args.sizes:
+        results.extend(bench_one(n, args.queries, args.samples, args.repeats))
+
+    payload = {
+        "config": {
+            "dataset": "btc (synthetic analogue)",
+            "sizes": args.sizes,
+            "query_count": args.queries,
+            "extent_fraction": 0.08,
+            "sample_size": args.samples,
+            "repeats": args.repeats,
+            "backends": list(backend_names()),
+            "numba_available": bool(numba_available()),
+            "jit": {name: bool(get_backend(name).jit) for name in backend_names()},
+            "cpu_count": os.cpu_count(),
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,7 @@ DOCTEST_MODULES: tuple[str, ...] = (
     "repro.core.dataset",
     "repro.core.flat",
     "repro.core.interval",
+    "repro.kernels",
     "repro.service.engine",
     "repro.service.shard",
     "repro.service.executor",

@@ -47,7 +47,8 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from ..sampling.cumulative import segmented_inverse_cdf
+from ..kernels import resolve_backend
+from ..kernels.numpy_backend import segmented_cumsum as _numpy_segmented_cumsum
 from ..sampling.rng import RandomState, resolve_rng
 from .errors import EmptyResultError, InvalidIntervalError, InvalidWeightError
 from .query import QueryLike, coerce_query, coerce_query_batch, validate_sample_size
@@ -130,28 +131,11 @@ def _ranges_to_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     return np.cumsum(out)
 
 
-def _segmented_cumsum(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Inclusive prefix sums per segment, bit-identical to per-segment ``np.cumsum``.
-
-    A global cumsum with per-segment offset subtraction would accumulate in a
-    different floating-point order than the per-node ``np.cumsum`` the tree
-    build uses, so the results would only be *close*, not equal.  Instead,
-    segments are bucketed by length and every bucket runs one 2-D
-    ``np.cumsum(axis=1)`` — row-sequential accumulation, i.e. exactly the
-    rounding order of a 1-D cumsum over each segment — so the output matches
-    a Python loop of per-segment cumsums bit for bit, at a cost of one
-    vectorised pass per *distinct* segment length.
-    """
-    out = np.empty(values.shape[0], dtype=_F8)
-    lengths = lengths[lengths > 0]
-    if lengths.shape[0] == 0:
-        return out
-    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-    for length in np.unique(lengths):
-        rows = np.flatnonzero(lengths == length)
-        idx = starts[rows][:, None] + np.arange(int(length), dtype=_ID)[None, :]
-        out[idx] = np.cumsum(values[idx], axis=1)
-    return out
+#: Inclusive prefix sums per segment, bit-identical to per-segment
+#: ``np.cumsum``.  The canonical implementation moved to the kernel tier
+#: (:func:`repro.kernels.numpy_backend.segmented_cumsum`); this module-level
+#: alias keeps the long-standing name for existing callers and tests.
+_segmented_cumsum = _numpy_segmented_cumsum
 
 
 class FlatAIT:
@@ -217,7 +201,9 @@ class FlatAIT:
         all_ids: np.ndarray,
         all_weight_prefix: Optional[np.ndarray],
         weighted: bool,
+        kernel_backend=None,
     ) -> None:
+        self._kernels = resolve_backend(kernel_backend)
         self._centers = centers
         self._left_child = left_child
         self._right_child = right_child
@@ -352,10 +338,12 @@ class FlatAIT:
         """Insertion points of ``needles`` inside the given nodes' segments.
 
         Equivalent to a segmented ``searchsorted`` over each node's sorted
-        run, resolved with two global binary searches via the rank keys.
+        run, resolved through the precomputed rank keys.  Delegates to the
+        active kernel backend (:meth:`repro.kernels.KernelBackend.rank_search`).
         """
-        rank = np.searchsorted(sorted_values, needles, side=side)
-        return np.searchsorted(key_pool, nodes * self._rank_m + rank, side="left")
+        return self._kernels.rank_search(
+            key_pool, sorted_values, self._rank_m, nodes, needles, side
+        )
 
     # ------------------------------------------------------------------ #
     # construction
@@ -367,6 +355,7 @@ class FlatAIT:
         previous: Optional["FlatAIT"] = None,
         dirty: Optional[dict] = None,
         max_dirty_fraction: float = 0.5,
+        kernel_backend=None,
     ) -> "FlatAIT":
         """Serialise the current structure of ``tree`` into flat arrays.
 
@@ -386,10 +375,12 @@ class FlatAIT:
         ``snapshot_incremental_refreshes`` counters — to see which path ran.
         """
         if previous is not None and dirty is not None:
-            engine = cls._incremental_from_tree(tree, previous, dirty, max_dirty_fraction)
+            engine = cls._incremental_from_tree(
+                tree, previous, dirty, max_dirty_fraction, kernel_backend=kernel_backend
+            )
             if engine is not None:
                 return engine
-        return cls._full_from_tree(tree)
+        return cls._full_from_tree(tree, kernel_backend=kernel_backend)
 
     @classmethod
     def from_arrays(
@@ -398,6 +389,7 @@ class FlatAIT:
         rights,
         ids=None,
         weights=None,
+        kernel_backend=None,
     ) -> "FlatAIT":
         """Build the flattened index directly from endpoint arrays — no node tree.
 
@@ -511,6 +503,7 @@ class FlatAIT:
                 np.empty(0, dtype=_ID),
                 np.empty(0, dtype=_F8) if weighted else None,
                 weighted,
+                kernel_backend=kernel_backend,
             )
 
         # ---- level-synchronous partitioning over positions 0..n-1 -------- #
@@ -749,12 +742,13 @@ class FlatAIT:
             )
         all_weight_prefix = None
         if weighted:
+            cumsum = resolve_backend(kernel_backend).segmented_cumsum
             all_weight_prefix = np.concatenate(
                 (
-                    _segmented_cumsum(weights[stab_pos_l], stab_len),
-                    _segmented_cumsum(weights[stab_pos_r], stab_len),
-                    _segmented_cumsum(weights[sub_pos_r], sub_len),
-                    _segmented_cumsum(weights[sub_pos_l], sub_len),
+                    cumsum(weights[stab_pos_l], stab_len),
+                    cumsum(weights[stab_pos_r], stab_len),
+                    cumsum(weights[sub_pos_r], sub_len),
+                    cumsum(weights[sub_pos_l], sub_len),
                 )
             )
         return cls(
@@ -772,6 +766,7 @@ class FlatAIT:
             all_ids,
             all_weight_prefix,
             weighted,
+            kernel_backend=kernel_backend,
         )
 
     def to_buffers(self) -> dict[str, np.ndarray]:
@@ -791,7 +786,7 @@ class FlatAIT:
         return out
 
     @classmethod
-    def from_buffers(cls, arrays: dict, weighted: bool) -> "FlatAIT":
+    def from_buffers(cls, arrays: dict, weighted: bool, kernel_backend=None) -> "FlatAIT":
         """Reassemble a snapshot around existing buffers without copying.
 
         ``arrays`` maps :attr:`CORE_FIELDS` names (plus, optionally,
@@ -805,6 +800,7 @@ class FlatAIT:
         buffers: they must outlive it and stay unmodified.
         """
         flat = cls.__new__(cls)
+        flat._kernels = resolve_backend(kernel_backend)
         for name, attr in cls.CORE_FIELDS:
             setattr(flat, attr, arrays.get(name))
         if flat._all_weight_prefix is None and weighted:
@@ -850,7 +846,7 @@ class FlatAIT:
         return nodes
 
     @classmethod
-    def _full_from_tree(cls, tree: "AIT") -> "FlatAIT":
+    def _full_from_tree(cls, tree: "AIT", kernel_backend=None) -> "FlatAIT":
         """Classic full serialisation: walk every node, gather every list."""
         weighted = tree.is_weighted
         nodes = cls._walk_preorder(tree)
@@ -913,6 +909,7 @@ class FlatAIT:
             all_ids,
             all_weight_prefix,
             weighted,
+            kernel_backend=kernel_backend,
         )
         engine._nodes = nodes
         engine._node_index = index_of
@@ -925,6 +922,7 @@ class FlatAIT:
         previous: "FlatAIT",
         dirty: dict,
         max_dirty_fraction: float,
+        kernel_backend=None,
     ) -> Optional["FlatAIT"]:
         """Delta-aware serialisation; returns None when it cannot apply.
 
@@ -1056,6 +1054,7 @@ class FlatAIT:
             all_ids,
             all_weight_prefix,
             weighted,
+            kernel_backend=kernel_backend,
         )
         engine._nodes = nodes
         engine._node_index = index_of
@@ -1120,6 +1119,16 @@ class FlatAIT:
         """True when the snapshot carries weight prefix pools (AWIT)."""
         return self._weighted
 
+    @property
+    def kernel_backend(self) -> str:
+        """Registry name of the kernel backend running the hot loops."""
+        return self._kernels.name
+
+    @property
+    def kernels(self):
+        """The active :class:`~repro.kernels.KernelBackend` instance."""
+        return self._kernels
+
     def nbytes(self, include_rank_keys: bool = True) -> int:
         """Memory footprint of the flat arrays in bytes.
 
@@ -1171,7 +1180,9 @@ class FlatAIT:
         save_flat(self, path, fsync=fsync)
 
     @classmethod
-    def load(cls, path, mmap: bool = True, verify: bool = True) -> "FlatAIT":
+    def load(
+        cls, path, mmap: bool = True, verify: bool = True, kernel_backend=None
+    ) -> "FlatAIT":
         """Load a snapshot written by :meth:`save`.
 
         With ``mmap=True`` (default) the arrays are read-only memory maps:
@@ -1184,7 +1195,7 @@ class FlatAIT:
         """
         from ..persist.snapshot import load_flat
 
-        return load_flat(path, mmap=mmap, verify=verify)
+        return load_flat(path, mmap=mmap, verify=verify, kernel_backend=kernel_backend)
 
     # ------------------------------------------------------------------ #
     # query coercion
@@ -1203,118 +1214,18 @@ class FlatAIT:
     # batched record collection (Algorithm 1, level-synchronous)
     # ------------------------------------------------------------------ #
     def collect_records_batch(self, ql: np.ndarray, qr: np.ndarray) -> _RecordBatch:
-        """Collect node records for every query at once.
+        """Collect node records for every query at once (Algorithm 1, batched).
 
-        Each round advances all still-live queries one level: classify
-        against the current centers (case 1 / 2 / 3 of Algorithm 1), resolve
-        every binary search of the round via the precomputed rank keys
-        (:meth:`_rank_search` — two global ``np.searchsorted`` calls per
-        search site), emit the resulting records, and step to the child
-        (case 3 terminates a query after emitting up to three records).
+        Delegates the traversal to the active kernel backend
+        (:meth:`repro.kernels.KernelBackend.descend_many`).  The NumPy
+        backend advances all still-live queries level-synchronously —
+        classify against the current centers (case 1 / 2 / 3), resolve every
+        binary search of the round via the precomputed rank keys, emit, and
+        descend; loop backends walk each query's path directly.  Either way
+        the records come back grouped by query in scalar traversal order —
+        part of the backend interface's bit-identity contract.
         """
-        nq = int(ql.shape[0])
-        chunks: list[tuple[np.ndarray, int, np.ndarray, np.ndarray, np.ndarray]] = []
-
-        def emit(
-            queries: np.ndarray, kind: int, lo: np.ndarray, hi: np.ndarray, seg: np.ndarray
-        ) -> None:
-            if queries.shape[0]:
-                chunks.append((queries, kind, lo, hi, seg))
-
-        if nq and self.node_count:
-            qidx = np.arange(nq, dtype=_ID)
-            node = np.zeros(nq, dtype=_ID)
-            live_l, live_r = ql, qr
-            while qidx.shape[0]:
-                center = self._centers[node]
-                c1 = live_r < center
-                c2 = center < live_l
-                c3 = ~(c1 | c2)
-
-                if c1.any():
-                    n1 = node[c1]
-                    off = self._stab_off[n1]
-                    ins = self._rank_search(
-                        self._stab_lefts_key, self._sorted_lefts, n1, live_r[c1], "right"
-                    )
-                    hi = ins - 1
-                    ok = hi >= off
-                    emit(qidx[c1][ok], 0, off[ok], hi[ok], off[ok])
-
-                if c2.any():
-                    n2 = node[c2]
-                    off = self._stab_off[n2]
-                    end = off + self._stab_len[n2]
-                    ins = self._rank_search(
-                        self._stab_rights_key, self._sorted_rights, n2, live_l[c2], "left"
-                    )
-                    ok = ins < end
-                    emit(qidx[c2][ok], 1, ins[ok], end[ok] - 1, off[ok])
-
-                if c3.any():
-                    n3 = node[c3]
-                    q3 = qidx[c3]
-                    # All stab intervals of the straddled node overlap q.
-                    off = self._stab_off[n3]
-                    ln = self._stab_len[n3]
-                    ok = ln > 0
-                    emit(q3[ok], 0, off[ok], (off + ln)[ok] - 1, off[ok])
-                    # Left child: subtree list by right endpoint vs q.l.
-                    lc = self._left_child[n3]
-                    has = lc >= 0
-                    if has.any():
-                        child = lc[has]
-                        off = self._sub_off[child]
-                        end = off + self._sub_len[child]
-                        ins = self._rank_search(
-                            self._sub_rights_key, self._sorted_rights, child, live_l[c3][has], "left"
-                        )
-                        ok = ins < end
-                        emit(q3[has][ok], 2, ins[ok], end[ok] - 1, off[ok])
-                    # Right child: subtree list by left endpoint vs q.r.
-                    rc = self._right_child[n3]
-                    has = rc >= 0
-                    if has.any():
-                        child = rc[has]
-                        off = self._sub_off[child]
-                        ins = self._rank_search(
-                            self._sub_lefts_key, self._sorted_lefts, child, live_r[c3][has], "right"
-                        )
-                        hi = ins - 1
-                        ok = hi >= off
-                        emit(q3[has][ok], 3, off[ok], hi[ok], off[ok])
-
-                nxt = np.where(c1, self._left_child[node], self._right_child[node])
-                nxt = np.where(c3, -1, nxt)
-                alive = nxt >= 0
-                qidx = qidx[alive]
-                node = nxt[alive]
-                live_l = live_l[alive]
-                live_r = live_r[alive]
-
-        if not chunks:
-            empty = np.empty(0, dtype=_ID)
-            return _RecordBatch(empty, empty, empty, empty, np.empty(0, dtype=_F8))
-
-        query = np.concatenate([c[0] for c in chunks])
-        kind = np.concatenate(
-            [np.full(c[0].shape[0], c[1], dtype=_ID) for c in chunks]
-        )
-        lo = np.concatenate([c[2] for c in chunks])
-        hi = np.concatenate([c[3] for c in chunks])
-        seg_off = np.concatenate([c[4] for c in chunks])
-
-        base = self._kind_base[kind]
-        glo = base + lo
-        ghi = base + hi
-        gbase = base + seg_off
-        if self._weighted:
-            prefix = self._all_weight_prefix
-            before = np.where(glo > gbase, prefix[np.maximum(glo - 1, 0)], 0.0)
-            weight = prefix[ghi] - before
-        else:
-            weight = (ghi - glo + 1).astype(_F8)
-        return _RecordBatch(query, glo, ghi, gbase, weight).sorted_by_query()
+        return _RecordBatch(*self._kernels.descend_many(self, ql, qr))
 
     # ------------------------------------------------------------------ #
     # batch queries
@@ -1338,9 +1249,7 @@ class FlatAIT:
         """:meth:`count_many` over pre-coerced endpoint arrays."""
         if self.node_count == 0:
             return np.zeros(ql.shape[0], dtype=_ID)
-        not_right = np.searchsorted(self._sorted_lefts, qr, side="right")
-        left_of = np.searchsorted(self._sorted_rights, ql, side="left")
-        return (not_right - left_of).astype(_ID, copy=False)
+        return self._kernels.count_node(self._sorted_lefts, self._sorted_rights, ql, qr)
 
     def total_weight_many(self, queries) -> np.ndarray:
         """Total weight of ``q ∩ X`` for every query (weighted counting).
@@ -1364,8 +1273,9 @@ class FlatAIT:
         # by-left at kind 3 (both start at the root's offset 0).
         prefix_by_right = prefix[self._kind_base[2] : self._kind_base[2] + n_active]
         prefix_by_left = prefix[self._kind_base[3] : self._kind_base[3] + n_active]
-        not_right = np.searchsorted(self._sorted_lefts, qr, side="right")
-        left_of = np.searchsorted(self._sorted_rights, ql, side="left")
+        not_right, left_of = self._kernels.endpoint_ranks(
+            self._sorted_lefts, self._sorted_rights, ql, qr
+        )
         weight_not_right = np.where(not_right > 0, prefix_by_left[np.maximum(not_right - 1, 0)], 0.0)
         weight_left_of = np.where(left_of > 0, prefix_by_right[np.maximum(left_of - 1, 0)], 0.0)
         return weight_not_right - weight_left_of
@@ -1472,7 +1382,7 @@ class FlatAIT:
         dense = np.zeros((nq, width), dtype=_F8)
         dense[records.query, ordinal] = records.weight
         pvals = dense[draw_queries] / total_weight[draw_queries, None]
-        hits = rng.multinomial(sample_size, pvals)  # (n_live, width)
+        hits = self._kernels.multinomial_draw(rng, sample_size, pvals)  # (n_live, width)
 
         # Map every (query, ordinal) cell back to its flat record index and
         # expand to one entry per draw; draws come out grouped by query (each
@@ -1488,7 +1398,7 @@ class FlatAIT:
         # Pass 2: pick a position inside the chosen record.
         n_draws = chosen.shape[0]
         if self._weighted:
-            positions = segmented_inverse_cdf(
+            positions = self._kernels.weighted_pick(
                 self._all_weight_prefix,
                 records.glo[chosen],
                 records.ghi[chosen],
@@ -1650,7 +1560,7 @@ class FlatAIT:
 
         rec_glo = glo[chosen]
         if self._weighted:
-            positions = segmented_inverse_cdf(
+            positions = self._kernels.weighted_pick(
                 self._all_weight_prefix,
                 rec_glo,
                 ghi[chosen],

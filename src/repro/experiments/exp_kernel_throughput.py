@@ -1,0 +1,161 @@
+"""Kernel throughput — pluggable FlatAIT backends vs the NumPy reference.
+
+Not a table from the paper: this experiment tracks the kernel tier added
+with ISSUE 8.  The FlatAIT hot loops (batch traversal, counting, segmented
+prefix sums, weighted position picks) run behind the
+:mod:`repro.kernels` backend interface; this experiment times
+``count_many`` / ``report_many`` / ``sample_many`` on the *same* snapshot
+arrays under every available backend and — the part that gates — asserts
+that every backend's answers are **bit-identical** to the NumPy reference
+backend's (``identical`` column; exact array equality on counts, on report
+chunks, and on fixed-seed sample draws).
+
+Throughput expectations are backend-honest.  The ``python`` backend exists
+as a portable mirror of the compiled kernels (same loop structure, no JIT) —
+it is *expected* to be far slower than NumPy and its ratios are advisory
+diagnostics, not targets.  The ``numba`` backend appears only when numba is
+importable (``pip install repro[accel]``); its first call per kernel pays
+JIT compilation, which the measurement loop absorbs in an un-timed warm-up
+pass so the timed passes see steady-state compiled throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ait import AIT
+from ..core.awit import AWIT
+from ..core.flat import FlatAIT
+from ..kernels import numba_available
+from .config import ExperimentConfig
+from .exp_service_throughput import measure_qps
+from .harness import build_dataset, build_workload
+from .report import ExperimentResult
+
+__all__ = [
+    "run",
+    "KERNEL_SAMPLE_SEED",
+    "backend_names",
+    "flat_with_backend",
+    "measure_flat",
+    "answers_identical",
+]
+
+#: Fixed seed for the sample_many bit-identity check (same seed, same draws).
+KERNEL_SAMPLE_SEED = 20240
+
+#: Operations timed per backend (method name on FlatAIT, batch form).
+KERNEL_OPERATIONS: tuple[str, ...] = ("count", "report", "sample")
+
+
+def backend_names() -> tuple[str, ...]:
+    """Backends to sweep: the reference first, then every alternative present."""
+    names = ["numpy", "python"]
+    if numba_available():
+        names.append("numba")
+    return tuple(names)
+
+
+def flat_with_backend(flat: FlatAIT, name: str) -> FlatAIT:
+    """Rebind one snapshot's arrays to a named backend (zero copy, same data)."""
+    return FlatAIT.from_buffers(
+        dict(flat.to_buffers()), flat.is_weighted, kernel_backend=name
+    )
+
+
+def measure_flat(flat: FlatAIT, ql, qr, sample_size: int, repeats: int) -> dict:
+    """``{operation: (qps, answer)}`` for one snapshot under its backend.
+
+    Every operation runs once un-timed first: for a JIT backend that pass
+    absorbs kernel compilation, so the timed passes measure steady-state
+    throughput (the quantity the backend interface exists to move), not
+    compiler start-up.
+    """
+    query_count = int(ql.shape[0])
+    out: dict[str, tuple[float, object]] = {}
+
+    counts = flat._count_many(ql, qr)
+    out["count"] = (
+        measure_qps(lambda: flat._count_many(ql, qr), query_count, repeats),
+        counts,
+    )
+    reported = flat._report_many(ql, qr)
+    out["report"] = (
+        measure_qps(lambda: flat._report_many(ql, qr), query_count, repeats),
+        reported,
+    )
+
+    def draw():
+        return flat._sample_many(
+            ql, qr, sample_size, np.random.default_rng(KERNEL_SAMPLE_SEED)
+        )
+
+    drawn = draw()
+    out["sample"] = (measure_qps(draw, query_count, repeats), drawn)
+    return out
+
+
+def answers_identical(reference, candidate) -> bool:
+    """True when two operation answers are bit-identical (arrays or chunk lists)."""
+    if isinstance(reference, np.ndarray):
+        return bool(np.array_equal(reference, candidate))
+    if len(reference) != len(candidate):
+        return False
+    return all(np.array_equal(a, b) for a, b in zip(reference, candidate))
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure per-backend kernel throughput and verify backend bit-identity."""
+    result = ExperimentResult(
+        experiment_id="kernel_throughput",
+        title="FlatAIT kernel backends vs the NumPy reference [queries/sec]",
+        columns=[
+            "dataset",
+            "weighted",
+            "operation",
+            "backend",
+            "qps",
+            "vs_numpy",
+            "identical",
+        ],
+        notes=(
+            "identical = bit-identity of the row's answers vs the numpy "
+            "backend on the same snapshot arrays (hard invariant; exact "
+            "equality on counts, report chunks, and fixed-seed sample "
+            "draws).  vs_numpy = throughput relative to the numpy backend "
+            "(advisory; the python backend is a portable loop mirror and is "
+            "expected to be slow, the numba backend rows appear only when "
+            "numba is importable)."
+        ),
+    )
+    repeats = max(1, config.repeats)
+    sample_size = min(config.sample_size, 100)
+    for dataset_name in config.datasets:
+        for weighted in (False, True):
+            dataset = build_dataset(config, dataset_name, weighted=weighted)
+            workload = build_workload(config, dataset, dataset_name)
+            query_array = np.asarray(list(workload), dtype=np.float64)
+            tree = AWIT(dataset) if weighted else AIT(dataset)
+            base = tree.flat()
+            ql, qr = base.coerce_queries(query_array)
+
+            reference: dict[str, tuple[float, object]] = {}
+            for backend in backend_names():
+                measured = measure_flat(
+                    flat_with_backend(base, backend), ql, qr, sample_size, repeats
+                )
+                if backend == "numpy":
+                    reference = measured
+                for operation in KERNEL_OPERATIONS:
+                    qps, answer = measured[operation]
+                    ref_qps, ref_answer = reference[operation]
+                    result.add_row(
+                        dataset=dataset_name,
+                        weighted=weighted,
+                        operation=operation,
+                        backend=backend,
+                        qps=qps,
+                        vs_numpy=qps / ref_qps if ref_qps > 0 else float("inf"),
+                        identical=answers_identical(ref_answer, answer),
+                    )
+    return result

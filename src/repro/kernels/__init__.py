@@ -1,0 +1,161 @@
+"""Pluggable kernel backends for the flat engine's hot loops.
+
+The performance-critical inner loops of :class:`repro.core.flat.FlatAIT`
+(level-synchronous traversal, two-searchsorted counting, segmented cumsums,
+segmented inverse-CDF sampling) are factored behind the
+:class:`~repro.kernels.api.KernelBackend` interface.  Three implementations
+register here:
+
+========  =========  ============================================================
+name      compiled   what it is
+========  =========  ============================================================
+numpy     no         vectorised NumPy — the default and the bit-identity oracle
+numba     yes        the loop kernels under ``@njit(cache=True, parallel=True)``;
+                     falls back to ``numpy`` (with a warning) when numba is
+                     not installed
+python    no         the same loop kernels interpreted — the numba backend's
+                     always-available structural twin, used by equivalence tests
+========  =========  ============================================================
+
+Every backend returns bit-identical results (not merely close, and for
+sampling not merely identically distributed — randomness is always consumed
+from the caller's NumPy generator in a fixed order).  Selection threads
+through every layer: ``FlatAIT``/``AIT``/``AWIT``/``ShardedEngine`` accept a
+``kernel_backend`` argument, process workers inherit the engine's choice via
+the shared-memory publish descriptor, and the ``REPRO_KERNEL_BACKEND``
+environment variable sets the process-wide default.
+
+Examples
+--------
+>>> from repro.kernels import get_backend
+>>> get_backend("numpy").name
+'numpy'
+>>> get_backend("numpy").describe() == {'name': 'numpy', 'jit': False}
+True
+>>> get_backend("python").name
+'python'
+>>> get_backend("nope")
+Traceback (most recent call last):
+    ...
+ValueError: unknown kernel backend 'nope': expected one of 'numpy', 'numba', 'python'
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Optional, Union
+
+from .api import KernelBackend, record_weights
+from .numba_backend import (
+    NUMBA_AVAILABLE,
+    LoopBackend,
+    make_numba_backend,
+    make_python_backend,
+)
+from .numpy_backend import (
+    NumpyBackend,
+    segmented_cumsum,
+    segmented_inverse_cdf,
+    segmented_searchsorted,
+)
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "LoopBackend",
+    "KERNEL_BACKEND_NAMES",
+    "KERNEL_BACKEND_ENV",
+    "get_backend",
+    "resolve_backend",
+    "numba_available",
+    "record_weights",
+    "segmented_cumsum",
+    "segmented_inverse_cdf",
+    "segmented_searchsorted",
+]
+
+#: Registry names accepted by :func:`get_backend` / ``kernel_backend=`` knobs.
+KERNEL_BACKEND_NAMES = ("numpy", "numba", "python")
+
+#: Environment variable consulted by :func:`resolve_backend` when no explicit
+#: backend is given — the process-wide default selector.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+_lock = threading.Lock()
+_instances: dict[str, KernelBackend] = {}
+_warned_numba_missing = False
+
+
+def numba_available() -> bool:
+    """True when the numba JIT compiler is importable in this process."""
+    return NUMBA_AVAILABLE
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Return the singleton backend registered under ``name``.
+
+    Backends are stateless, so one shared instance per name serves every
+    snapshot and thread.  Requesting ``"numba"`` on a machine without numba
+    installed warns once (``RuntimeWarning``) and returns the numpy backend —
+    the returned instance's ``name`` stays truthful (``"numpy"``), so stats
+    and bench reports never claim an acceleration that is not running.
+    """
+    global _warned_numba_missing
+    if name not in KERNEL_BACKEND_NAMES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}: "
+            "expected one of 'numpy', 'numba', 'python'"
+        )
+    with _lock:
+        backend = _instances.get(name)
+        if backend is None:
+            if name == "numpy":
+                backend = NumpyBackend()
+            elif name == "python":
+                backend = make_python_backend()
+            else:
+                backend = make_numba_backend()
+                if backend is None:
+                    # Fall back to numpy; resolve the singleton inline (the
+                    # lock is not re-entrant) and do NOT cache it under
+                    # "numba", so a later in-process numba install could
+                    # still win (and the warning stays once-per-process).
+                    if not _warned_numba_missing:
+                        _warned_numba_missing = True
+                        warnings.warn(
+                            "kernel backend 'numba' requested but numba is not "
+                            "installed; falling back to the numpy backend "
+                            "(pip install repro[accel] to enable JIT kernels)",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                    backend = _instances.get("numpy")
+                    if backend is None:
+                        backend = _instances["numpy"] = NumpyBackend()
+                    return backend
+            _instances[name] = backend
+        return backend
+
+
+def resolve_backend(
+    backend: Optional[Union[str, KernelBackend]] = None,
+) -> KernelBackend:
+    """Resolve a ``kernel_backend=`` argument to a backend instance.
+
+    ``None`` consults the ``REPRO_KERNEL_BACKEND`` environment variable and
+    defaults to ``"numpy"``; a string goes through :func:`get_backend`; a
+    :class:`KernelBackend` instance passes through unchanged (the hook for
+    out-of-tree implementations).
+    """
+    if backend is None:
+        backend = os.environ.get(KERNEL_BACKEND_ENV) or "numpy"
+    if isinstance(backend, KernelBackend):
+        return backend
+    if isinstance(backend, str):
+        return get_backend(backend)
+    raise TypeError(
+        "kernel_backend must be None, a backend name, or a KernelBackend "
+        f"instance, got {type(backend).__name__}"
+    )

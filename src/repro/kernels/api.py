@@ -1,0 +1,216 @@
+"""The kernel backend interface: the hot loops of the flat engine, pluggable.
+
+Every performance-critical inner loop of :class:`~repro.core.flat.FlatAIT`
+and the segmented sampling primitives in :mod:`repro.sampling.cumulative` is
+a pure array program: given the snapshot arrays and a query batch, the result
+is a deterministic function of its inputs.  :class:`KernelBackend` names
+exactly those loops — nothing else — so an accelerated implementation (Numba
+today; Cython/C or CuPy tomorrow) can replace them wholesale while the NumPy
+implementation stays the default and the **bit-identity oracle**, the same
+oracle pattern ``FlatAIT.from_tree`` provides for ``from_arrays``.
+
+The contract every backend must honour
+--------------------------------------
+
+* **Bit identity.**  Each method must return arrays bit-identical to the
+  NumPy backend's for the same inputs.  For integer results (binary-search
+  insertion points, traversal record indices) this is automatic — the answer
+  is a unique integer.  For floating-point results the accumulation *order*
+  is part of the contract: :meth:`~KernelBackend.segmented_cumsum` must add
+  left to right within each segment (the order of a per-segment
+  ``np.cumsum``), and :meth:`~KernelBackend.weighted_pick` must compute its
+  thresholds as ``before + u * total`` with no reassociation or FMA
+  contraction.
+* **RNG stays on NumPy.**  All randomness is consumed through the caller's
+  ``numpy.random.Generator`` in a fixed order — :meth:`multinomial_draw` is
+  implemented once on the base class and backends must not override how
+  random numbers are drawn.  Only the *deterministic* transforms downstream
+  of the draws (binary searches, traversals, prefix sums) are
+  backend-swappable; that is what makes sample draws identical across
+  backends, not merely identically distributed.
+* **Record order.**  :meth:`descend_many` must return records grouped by
+  query ordinal, and within one query in scalar traversal order (the order
+  of :meth:`FlatAIT.collect_ranges`): case 1 and case 2 emit at most one
+  record per level on the way down, and the terminal case-3 node emits its
+  stab record, then the left child's subtree record, then the right child's.
+  The NumPy backend reaches this order via a stable sort of its
+  level-synchronous emission; loop backends produce it directly.
+
+Backends are stateless: one instance serves any number of snapshots and
+threads concurrently (methods only read their arguments).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.flat import FlatAIT
+
+__all__ = ["KernelBackend", "record_weights"]
+
+_ID = np.int64
+_F8 = np.float64
+
+
+def record_weights(
+    prefix: Optional[np.ndarray],
+    glo: np.ndarray,
+    ghi: np.ndarray,
+    gbase: np.ndarray,
+) -> np.ndarray:
+    """Total sampling weight of each record ``[glo, ghi]`` (global pool indices).
+
+    ``prefix`` is the concatenated per-node inclusive weight-prefix pool
+    (``None`` for unweighted snapshots, where the weight is the record
+    cardinality); ``gbase`` marks the start of each record's node segment so
+    the "weight before ``glo``" term never reads across a segment boundary.
+    Shared by every backend — the weight arithmetic is one gather and one
+    subtraction, so keeping a single implementation makes cross-backend bit
+    identity of the weight column trivially true.
+    """
+    if prefix is None:
+        return (ghi - glo + 1).astype(_F8)
+    before = np.where(glo > gbase, prefix[np.maximum(glo - 1, 0)], 0.0)
+    return prefix[ghi] - before
+
+
+class KernelBackend:
+    """Abstract kernel set behind the flat engine's hot loops.
+
+    Subclasses implement the deterministic array kernels; the base class
+    carries the shared pieces that must *not* vary per backend (the RNG
+    consumption of :meth:`multinomial_draw`, the closed-form counting of
+    :meth:`count_node`, the weight arithmetic of :func:`record_weights`).
+    """
+
+    #: Registry name of the backend (``"numpy"``, ``"numba"``, ``"python"``).
+    name: str = "abstract"
+    #: True when the hot loops run as compiled (JIT) code.
+    jit: bool = False
+
+    # -------------------------------------------------------------- #
+    # counting
+    # -------------------------------------------------------------- #
+    def endpoint_ranks(
+        self,
+        sorted_lefts: np.ndarray,
+        sorted_rights: np.ndarray,
+        ql: np.ndarray,
+        qr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per query: ``#(lefts <= q.r)`` and ``#(rights < q.l)`` as int64 arrays.
+
+        The two binary-search ranks behind the closed-form count and the
+        weighted total: ``sorted_lefts`` / ``sorted_rights`` are the globally
+        sorted endpoint columns (the root node's subtree lists).
+        """
+        raise NotImplementedError
+
+    def count_node(
+        self,
+        sorted_lefts: np.ndarray,
+        sorted_rights: np.ndarray,
+        ql: np.ndarray,
+        qr: np.ndarray,
+    ) -> np.ndarray:
+        """``|q ∩ X|`` per query via the two-searchsorted identity.
+
+        An interval overlaps ``q`` unless it lies entirely left or entirely
+        right of it, and the exclusions are disjoint, so
+        ``|q ∩ X| = #(lefts <= q.r) - #(rights < q.l)``.  The subtraction of
+        two exact integer ranks is backend-independent, so it lives here.
+        """
+        not_right, left_of = self.endpoint_ranks(sorted_lefts, sorted_rights, ql, qr)
+        return (not_right - left_of).astype(_ID, copy=False)
+
+    # -------------------------------------------------------------- #
+    # traversal
+    # -------------------------------------------------------------- #
+    def rank_search(
+        self,
+        key_pool: np.ndarray,
+        sorted_values: np.ndarray,
+        rank_m: int,
+        nodes: np.ndarray,
+        needles: np.ndarray,
+        side: str,
+    ) -> np.ndarray:
+        """Insertion points of ``needles`` inside the given nodes' pool segments.
+
+        Equivalent to a per-node ``searchsorted`` over each node's sorted
+        run, resolved through the precomputed rank keys
+        (:meth:`FlatAIT._build_rank_keys`): rank each needle against the
+        global ``sorted_values`` column, then search ``key_pool`` for
+        ``node * rank_m + rank``.  Returns *global* pool indices.
+        """
+        raise NotImplementedError
+
+    def descend_many(
+        self,
+        flat: "FlatAIT",
+        ql: np.ndarray,
+        qr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Collect node records (Algorithm 1) for the whole query batch.
+
+        Returns ``(query, glo, ghi, gbase, weight)`` parallel arrays — one
+        entry per record, ``glo``/``ghi``/``gbase`` as indices into the id
+        super-pool — grouped by query and in scalar traversal order within
+        each query (see the module docstring's record-order contract).
+        """
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- #
+    # prefix sums and sampling
+    # -------------------------------------------------------------- #
+    def segmented_cumsum(self, values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Inclusive prefix sums per segment, bit-identical to per-segment cumsum.
+
+        Floating-point addition must run left to right within each segment —
+        the accumulation order of a 1-D ``np.cumsum`` — so the result matches
+        the tree build's per-node prefixes bit for bit.
+        """
+        raise NotImplementedError
+
+    def weighted_pick(
+        self,
+        prefix: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        uniforms: np.ndarray,
+        base: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched inverse-CDF draw over slices of one flat prefix-sum pool.
+
+        For each pre-drawn uniform ``u[i]`` pick a position in
+        ``lo[i]..hi[i]`` (inclusive) with probability proportional to
+        ``prefix[k] - prefix[k-1]``; ``base[i]`` is the start of the owning
+        prefix run.  The uniforms are drawn by the *caller* (RNG-identity
+        contract); the threshold arithmetic and binary search are the
+        backend's.
+        """
+        raise NotImplementedError
+
+    def multinomial_draw(
+        self, rng: np.random.Generator, sample_size: int, pvals: np.ndarray
+    ) -> np.ndarray:
+        """Batched multinomial record allocation — shared across backends.
+
+        Deliberately *not* overridable in spirit: the draw consumes the
+        caller's NumPy generator, which is what keeps sample sequences
+        bit-identical across backends (not just equal in distribution).
+        """
+        return rng.multinomial(sample_size, pvals)
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+    def describe(self) -> dict:
+        """Stable metadata for stats/bench reporting."""
+        return {"name": self.name, "jit": bool(self.jit)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, jit={self.jit})"

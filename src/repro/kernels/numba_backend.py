@@ -1,0 +1,457 @@
+"""Loop kernels: one source, two backends ("python" plain, "numba" JIT).
+
+The kernels below are scalar loops over the snapshot arrays — the shape a JIT
+compiler wants, as opposed to the vectorised whole-batch array programs of
+:mod:`.numpy_backend`.  Each is written once as a plain function; when Numba
+is importable the same functions are additionally compiled with
+``@njit(cache=True, parallel=True)`` (every ``prange`` iterates independent
+queries/segments, so parallelisation is safe).  ``numba.prange`` degrades to
+``range`` outside of jitted code, so the plain variants run the identical
+source.
+
+Bit identity with the NumPy backend holds by construction:
+
+* binary-search insertion points are unique integers, so the per-segment
+  bisects here equal the rank-key double-``searchsorted`` route (see
+  ``FlatAIT._build_rank_keys``) wherever both are defined;
+* the segmented cumsum accumulates left to right — the first element is a
+  direct assignment (not ``0.0 + v``, which would flip a ``-0.0``) and each
+  later element adds once, exactly ``np.cumsum``'s rounding order;
+* ``weighted_pick`` forms thresholds as ``before + u * total``; default
+  ``njit`` applies no fast-math, so there is no FMA contraction or
+  reassociation to perturb the value;
+* :func:`~.api.record_weights` and the traversal record order are shared /
+  mirrored from the scalar ``FlatAIT.collect_ranges`` walk, whose per-query
+  output order is what the NumPy backend's stable sort reconstructs.
+
+When Numba is *not* installed this module still imports cleanly and only the
+plain variants exist; the registry then falls back from "numba" to the NumPy
+backend with a warning (see :func:`repro.kernels.get_backend`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .api import KernelBackend, record_weights
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.flat import FlatAIT
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - the only path in numba-free envs
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # noqa: ANN001 - identity decorator stand-in
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+    prange = range
+
+__all__ = ["LoopBackend", "make_python_backend", "make_numba_backend", "NUMBA_AVAILABLE"]
+
+_ID = np.int64
+_F8 = np.float64
+
+
+# ------------------------------------------------------------------ #
+# scalar helpers (rebound to their njit'd selves when numba is present)
+# ------------------------------------------------------------------ #
+def _bisect_left(a, x, lo, hi):
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if a[mid] < x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _bisect_right(a, x, lo, hi):
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if a[mid] <= x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+# ------------------------------------------------------------------ #
+# kernels (single source; compiled copies built below when available)
+# ------------------------------------------------------------------ #
+def _endpoint_ranks_loop(sorted_lefts, sorted_rights, ql, qr, not_right, left_of):
+    n = sorted_lefts.shape[0]
+    for i in prange(ql.shape[0]):
+        not_right[i] = _bisect_right(sorted_lefts, qr[i], 0, n)
+        left_of[i] = _bisect_left(sorted_rights, ql[i], 0, n)
+
+
+def _rank_search_loop(key_pool, sorted_values, rank_m, nodes, needles, use_right, out):
+    n = sorted_values.shape[0]
+    total = key_pool.shape[0]
+    for i in prange(nodes.shape[0]):
+        if use_right:
+            rank = _bisect_right(sorted_values, needles[i], 0, n)
+        else:
+            rank = _bisect_left(sorted_values, needles[i], 0, n)
+        out[i] = _bisect_left(key_pool, nodes[i] * rank_m + rank, 0, total)
+
+
+def _segmented_cumsum_loop(values, starts, lengths, out):
+    for s in prange(starts.shape[0]):
+        length = lengths[s]
+        if length <= 0:
+            continue
+        start = starts[s]
+        acc = values[start]
+        out[start] = acc
+        for j in range(start + 1, start + length):
+            acc = acc + values[j]
+            out[j] = acc
+
+
+def _weighted_pick_loop(prefix, lo, hi, uniforms, floor, out):
+    for i in prange(lo.shape[0]):
+        low = lo[i]
+        high = hi[i]
+        if low > floor[i]:
+            before = prefix[low - 1]
+        else:
+            before = 0.0
+        total = prefix[high] - before
+        threshold = before + uniforms[i] * total
+        pos = _bisect_left(prefix, threshold, low, high + 1)
+        if pos > high:
+            pos = high
+        out[i] = pos
+
+
+def _descend_count_loop(
+    centers,
+    left_child,
+    right_child,
+    stab_off,
+    stab_len,
+    sub_off,
+    sub_len,
+    stab_lefts,
+    stab_rights,
+    sub_lefts,
+    sub_rights,
+    ql,
+    qr,
+    counts,
+):
+    for q in prange(ql.shape[0]):
+        left = ql[q]
+        right = qr[q]
+        node = 0
+        count = 0
+        while node >= 0:
+            center = centers[node]
+            off = stab_off[node]
+            length = stab_len[node]
+            if right < center:
+                hi = _bisect_right(stab_lefts, right, off, off + length) - 1
+                if hi >= off:
+                    count += 1
+                node = left_child[node]
+            elif center < left:
+                lo = _bisect_left(stab_rights, left, off, off + length)
+                if lo < off + length:
+                    count += 1
+                node = right_child[node]
+            else:
+                if length > 0:
+                    count += 1
+                child = left_child[node]
+                if child >= 0:
+                    soff = sub_off[child]
+                    send = soff + sub_len[child]
+                    lo = _bisect_left(sub_rights, left, soff, send)
+                    if lo < send:
+                        count += 1
+                child = right_child[node]
+                if child >= 0:
+                    soff = sub_off[child]
+                    send = soff + sub_len[child]
+                    hi = _bisect_right(sub_lefts, right, soff, send) - 1
+                    if hi >= soff:
+                        count += 1
+                node = -1
+        counts[q] = count
+
+
+def _descend_fill_loop(
+    centers,
+    left_child,
+    right_child,
+    stab_off,
+    stab_len,
+    sub_off,
+    sub_len,
+    stab_lefts,
+    stab_rights,
+    sub_lefts,
+    sub_rights,
+    kb0,
+    kb1,
+    kb2,
+    kb3,
+    ql,
+    qr,
+    offsets,
+    query_out,
+    glo,
+    ghi,
+    gbase,
+):
+    for q in prange(ql.shape[0]):
+        left = ql[q]
+        right = qr[q]
+        node = 0
+        pos = offsets[q]
+        while node >= 0:
+            center = centers[node]
+            off = stab_off[node]
+            length = stab_len[node]
+            if right < center:
+                hi = _bisect_right(stab_lefts, right, off, off + length) - 1
+                if hi >= off:
+                    query_out[pos] = q
+                    glo[pos] = kb0 + off
+                    ghi[pos] = kb0 + hi
+                    gbase[pos] = kb0 + off
+                    pos += 1
+                node = left_child[node]
+            elif center < left:
+                lo = _bisect_left(stab_rights, left, off, off + length)
+                if lo < off + length:
+                    query_out[pos] = q
+                    glo[pos] = kb1 + lo
+                    ghi[pos] = kb1 + off + length - 1
+                    gbase[pos] = kb1 + off
+                    pos += 1
+                node = right_child[node]
+            else:
+                if length > 0:
+                    query_out[pos] = q
+                    glo[pos] = kb0 + off
+                    ghi[pos] = kb0 + off + length - 1
+                    gbase[pos] = kb0 + off
+                    pos += 1
+                child = left_child[node]
+                if child >= 0:
+                    soff = sub_off[child]
+                    send = soff + sub_len[child]
+                    lo = _bisect_left(sub_rights, left, soff, send)
+                    if lo < send:
+                        query_out[pos] = q
+                        glo[pos] = kb2 + lo
+                        ghi[pos] = kb2 + send - 1
+                        gbase[pos] = kb2 + soff
+                        pos += 1
+                child = right_child[node]
+                if child >= 0:
+                    soff = sub_off[child]
+                    send = soff + sub_len[child]
+                    hi = _bisect_right(sub_lefts, right, soff, send) - 1
+                    if hi >= soff:
+                        query_out[pos] = q
+                        glo[pos] = kb3 + soff
+                        ghi[pos] = kb3 + hi
+                        gbase[pos] = kb3 + soff
+                        pos += 1
+                node = -1
+
+
+_KERNEL_SOURCES = {
+    "endpoint_ranks": _endpoint_ranks_loop,
+    "rank_search": _rank_search_loop,
+    "segmented_cumsum": _segmented_cumsum_loop,
+    "weighted_pick": _weighted_pick_loop,
+    "descend_count": _descend_count_loop,
+    "descend_fill": _descend_fill_loop,
+}
+
+#: Plain-Python kernel set — always available, powers the "python" backend.
+_PLAIN = dict(_KERNEL_SOURCES)
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    _bisect_left = njit(cache=True)(_bisect_left)
+    _bisect_right = njit(cache=True)(_bisect_right)
+    #: Compiled kernel set — powers the "numba" backend.  Compilation is
+    #: lazy (first call per signature); ``cache=True`` persists the machine
+    #: code on disk so workers and repeat runs skip recompilation.
+    _JIT = {
+        name: njit(cache=True, parallel=True)(fn) for name, fn in _KERNEL_SOURCES.items()
+    }
+else:
+    _JIT = None
+
+
+class LoopBackend(KernelBackend):
+    """Kernel backend running the scalar loop kernels (plain or compiled).
+
+    The instance only routes: empty-batch guards, output allocation and the
+    record-offset bookkeeping live here in NumPy; everything per-element goes
+    through the kernel table handed to the constructor.
+    """
+
+    def __init__(self, name: str, kernels: dict, jit: bool) -> None:
+        self.name = name
+        self.jit = bool(jit)
+        self._kernels = kernels
+
+    def endpoint_ranks(
+        self,
+        sorted_lefts: np.ndarray,
+        sorted_rights: np.ndarray,
+        ql: np.ndarray,
+        qr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = ql.shape[0]
+        not_right = np.empty(n, dtype=_ID)
+        left_of = np.empty(n, dtype=_ID)
+        if n:
+            self._kernels["endpoint_ranks"](
+                sorted_lefts, sorted_rights, ql, qr, not_right, left_of
+            )
+        return not_right, left_of
+
+    def rank_search(
+        self,
+        key_pool: np.ndarray,
+        sorted_values: np.ndarray,
+        rank_m: int,
+        nodes: np.ndarray,
+        needles: np.ndarray,
+        side: str,
+    ) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=_ID)
+        out = np.empty(nodes.shape[0], dtype=_ID)
+        if nodes.shape[0]:
+            self._kernels["rank_search"](
+                key_pool, sorted_values, rank_m, nodes, needles, side == "right", out
+            )
+        return out
+
+    def segmented_cumsum(self, values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        values = np.ascontiguousarray(values, dtype=_F8)
+        lengths = np.asarray(lengths, dtype=_ID)
+        out = np.empty(values.shape[0], dtype=_F8)
+        if lengths.shape[0]:
+            starts = np.zeros(lengths.shape[0], dtype=_ID)
+            np.cumsum(lengths[:-1], out=starts[1:])
+            self._kernels["segmented_cumsum"](values, starts, lengths, out)
+        return out
+
+    def weighted_pick(
+        self,
+        prefix: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        uniforms: np.ndarray,
+        base: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        lo = np.asarray(lo, dtype=_ID)
+        hi = np.asarray(hi, dtype=_ID)
+        floor = np.zeros_like(lo) if base is None else np.asarray(base, dtype=_ID)
+        uniforms = np.asarray(uniforms, dtype=_F8)
+        out = np.empty(lo.shape[0], dtype=_ID)
+        if lo.shape[0]:
+            self._kernels["weighted_pick"](prefix, lo, hi, uniforms, floor, out)
+        return out
+
+    def descend_many(
+        self,
+        flat: "FlatAIT",
+        ql: np.ndarray,
+        qr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Two-pass per-query traversal: count records, then fill at offsets.
+
+        Pass one walks every query's root-to-terminal path counting emitted
+        records; a cumsum turns the counts into disjoint output offsets; pass
+        two repeats the walk writing records in scalar traversal order.
+        Records land grouped by query ordinal by construction — no sort.
+        """
+        nq = int(ql.shape[0])
+
+        def empty_records():
+            empty = np.empty(0, dtype=_ID)
+            return empty, empty, empty, empty, np.empty(0, dtype=_F8)
+
+        if nq == 0 or not flat.node_count:
+            return empty_records()
+        structure = (
+            flat._centers,
+            flat._left_child,
+            flat._right_child,
+            flat._stab_off,
+            flat._stab_len,
+            flat._sub_off,
+            flat._sub_len,
+            flat._stab_lefts,
+            flat._stab_rights,
+            flat._sub_lefts,
+            flat._sub_rights,
+        )
+        counts = np.empty(nq, dtype=_ID)
+        self._kernels["descend_count"](*structure, ql, qr, counts)
+        total = int(counts.sum())
+        if total == 0:
+            return empty_records()
+        offsets = np.zeros(nq, dtype=_ID)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        kb = flat._kind_base
+        query = np.empty(total, dtype=_ID)
+        glo = np.empty(total, dtype=_ID)
+        ghi = np.empty(total, dtype=_ID)
+        gbase = np.empty(total, dtype=_ID)
+        self._kernels["descend_fill"](
+            *structure,
+            int(kb[0]),
+            int(kb[1]),
+            int(kb[2]),
+            int(kb[3]),
+            ql,
+            qr,
+            offsets,
+            query,
+            glo,
+            ghi,
+            gbase,
+        )
+        weight = record_weights(
+            flat._all_weight_prefix if flat._weighted else None, glo, ghi, gbase
+        )
+        return query, glo, ghi, gbase, weight
+
+
+def make_python_backend() -> LoopBackend:
+    """The "python" backend: the loop kernels run as plain Python.
+
+    Exists as the always-available structural twin of the numba backend —
+    equivalence tests exercise the exact loop logic the JIT compiles even on
+    machines without numba (slowly: it is a per-element interpreter loop).
+    """
+    return LoopBackend("python", _PLAIN, jit=False)
+
+
+def make_numba_backend() -> Optional[LoopBackend]:
+    """The "numba" backend, or ``None`` when numba is not importable."""
+    if not NUMBA_AVAILABLE:
+        return None
+    return LoopBackend("numba", _JIT, jit=True)

@@ -1,0 +1,295 @@
+"""The NumPy kernel backend — the default implementation and bit-identity oracle.
+
+Every function here is the *canonical* implementation of its kernel: the
+level-synchronous batch traversal, the two-searchsorted counting ranks, the
+bucketed segmented cumsum and the segmented binary-search sampling primitives
+were extracted verbatim from ``repro.core.flat`` / ``repro.sampling.cumulative``
+(where thin aliases remain for their old callers).  Accelerated backends are
+tested against this module bit for bit — see
+``tests/test_kernels.py`` and ``scripts/bench_kernels.py``.
+
+The module depends on NumPy only, so the kernel tier sits below every other
+``repro`` subpackage in the import graph.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .api import KernelBackend, record_weights
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.flat import FlatAIT
+
+__all__ = [
+    "NumpyBackend",
+    "segmented_cumsum",
+    "segmented_searchsorted",
+    "segmented_inverse_cdf",
+]
+
+_ID = np.int64
+_F8 = np.float64
+
+
+def segmented_cumsum(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sums per segment, bit-identical to per-segment ``np.cumsum``.
+
+    A global cumsum with per-segment offset subtraction would accumulate in a
+    different floating-point order than the per-node ``np.cumsum`` the tree
+    build uses, so the results would only be *close*, not equal.  Instead,
+    segments are bucketed by length and every bucket runs one 2-D
+    ``np.cumsum(axis=1)`` — row-sequential accumulation, i.e. exactly the
+    rounding order of a 1-D cumsum over each segment — so the output matches
+    a Python loop of per-segment cumsums bit for bit, at a cost of one
+    vectorised pass per *distinct* segment length.
+    """
+    out = np.empty(values.shape[0], dtype=_F8)
+    lengths = lengths[lengths > 0]
+    if lengths.shape[0] == 0:
+        return out
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    for length in np.unique(lengths):
+        rows = np.flatnonzero(lengths == length)
+        idx = starts[rows][:, None] + np.arange(int(length), dtype=_ID)[None, :]
+        out[idx] = np.cumsum(values[idx], axis=1)
+    return out
+
+
+def segmented_searchsorted(
+    pool: np.ndarray, lo: np.ndarray, hi: np.ndarray, needles: np.ndarray, side: str = "left"
+) -> np.ndarray:
+    """Vectorised ``searchsorted`` over many independent sorted segments.
+
+    ``pool`` is one flat array that concatenates many individually sorted
+    runs; for each needle ``i`` the run is ``pool[lo[i]:hi[i]]`` (half-open,
+    global indices).  Returns the global insertion index of ``needles[i]``
+    inside its run, with standard left/right semantics.  The whole batch is
+    resolved in ``O(log(max run length))`` vectorised rounds, which is what
+    lets the flat batch-query engine replace one Python-level
+    ``np.searchsorted`` call per (query, node) pair with a handful of
+    array operations per tree level.
+    """
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    lo = np.asarray(lo, dtype=np.int64).copy()
+    hi = np.asarray(hi, dtype=np.int64).copy()
+    needles = np.asarray(needles)
+    active = lo < hi
+    while active.any():
+        mid = (lo + hi) >> 1
+        mid_vals = pool[np.where(active, mid, 0)]
+        go_right = (mid_vals < needles) if side == "left" else (mid_vals <= needles)
+        go_right &= active
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+        active = lo < hi
+    return lo
+
+
+def segmented_inverse_cdf(
+    prefix: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    uniforms: np.ndarray,
+    base: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched inverse-CDF draw over slices of one flat prefix-sum array.
+
+    For each draw ``i`` the candidate positions are ``lo[i]..hi[i]``
+    (inclusive, global indices into ``prefix``); position ``k`` is chosen
+    with probability proportional to ``prefix[k] - prefix[k-1]`` within the
+    slice.  When ``prefix`` concatenates many independent prefix-sum runs
+    (each restarting from zero), ``base[i]`` must give the start of draw
+    ``i``'s run so the "weight before ``lo``" term is taken from the right
+    run; ``base=None`` treats the whole array as one run.  ``uniforms`` are
+    i.i.d. draws in ``[0, 1)``.  This is the vectorised counterpart of
+    :func:`repro.sampling.cumulative.sample_from_prefix_range`.
+    """
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    floor = np.zeros_like(lo) if base is None else np.asarray(base, dtype=np.int64)
+    before = np.where(lo > floor, prefix[np.maximum(lo - 1, 0)], 0.0)
+    total = prefix[hi] - before
+    thresholds = before + np.asarray(uniforms, dtype=np.float64) * total
+    positions = segmented_searchsorted(prefix, lo, hi + 1, thresholds, side="left")
+    return np.minimum(positions, hi)
+
+
+class NumpyBackend(KernelBackend):
+    """Pure-NumPy kernels: vectorised, dependency-free, the equivalence oracle."""
+
+    name = "numpy"
+    jit = False
+
+    def endpoint_ranks(
+        self,
+        sorted_lefts: np.ndarray,
+        sorted_rights: np.ndarray,
+        ql: np.ndarray,
+        qr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        not_right = np.searchsorted(sorted_lefts, qr, side="right")
+        left_of = np.searchsorted(sorted_rights, ql, side="left")
+        return not_right, left_of
+
+    def rank_search(
+        self,
+        key_pool: np.ndarray,
+        sorted_values: np.ndarray,
+        rank_m: int,
+        nodes: np.ndarray,
+        needles: np.ndarray,
+        side: str,
+    ) -> np.ndarray:
+        rank = np.searchsorted(sorted_values, needles, side=side)
+        return np.searchsorted(key_pool, nodes * rank_m + rank, side="left")
+
+    def segmented_cumsum(self, values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        return segmented_cumsum(values, lengths)
+
+    def weighted_pick(
+        self,
+        prefix: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        uniforms: np.ndarray,
+        base: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return segmented_inverse_cdf(prefix, lo, hi, uniforms, base=base)
+
+    def descend_many(
+        self,
+        flat: "FlatAIT",
+        ql: np.ndarray,
+        qr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Level-synchronous batch traversal (Algorithm 1 over all queries).
+
+        Each round advances all still-live queries one level: classify
+        against the current centers (case 1 / 2 / 3), resolve every binary
+        search of the round via the precomputed rank keys
+        (:meth:`rank_search` — two global ``np.searchsorted`` calls per
+        search site), emit the resulting records, and step to the child
+        (case 3 terminates a query after emitting up to three records).  A
+        final stable sort by query ordinal restores the per-query traversal
+        order the interface requires.
+        """
+        nq = int(ql.shape[0])
+        chunks: list[tuple[np.ndarray, int, np.ndarray, np.ndarray, np.ndarray]] = []
+
+        def emit(
+            queries: np.ndarray, kind: int, lo: np.ndarray, hi: np.ndarray, seg: np.ndarray
+        ) -> None:
+            if queries.shape[0]:
+                chunks.append((queries, kind, lo, hi, seg))
+
+        rank_m = getattr(flat, "_rank_m", 1)
+        if nq and flat.node_count:
+            qidx = np.arange(nq, dtype=_ID)
+            node = np.zeros(nq, dtype=_ID)
+            live_l, live_r = ql, qr
+            while qidx.shape[0]:
+                center = flat._centers[node]
+                c1 = live_r < center
+                c2 = center < live_l
+                c3 = ~(c1 | c2)
+
+                if c1.any():
+                    n1 = node[c1]
+                    off = flat._stab_off[n1]
+                    ins = self.rank_search(
+                        flat._stab_lefts_key, flat._sorted_lefts, rank_m, n1, live_r[c1], "right"
+                    )
+                    hi = ins - 1
+                    ok = hi >= off
+                    emit(qidx[c1][ok], 0, off[ok], hi[ok], off[ok])
+
+                if c2.any():
+                    n2 = node[c2]
+                    off = flat._stab_off[n2]
+                    end = off + flat._stab_len[n2]
+                    ins = self.rank_search(
+                        flat._stab_rights_key, flat._sorted_rights, rank_m, n2, live_l[c2], "left"
+                    )
+                    ok = ins < end
+                    emit(qidx[c2][ok], 1, ins[ok], end[ok] - 1, off[ok])
+
+                if c3.any():
+                    n3 = node[c3]
+                    q3 = qidx[c3]
+                    # All stab intervals of the straddled node overlap q.
+                    off = flat._stab_off[n3]
+                    ln = flat._stab_len[n3]
+                    ok = ln > 0
+                    emit(q3[ok], 0, off[ok], (off + ln)[ok] - 1, off[ok])
+                    # Left child: subtree list by right endpoint vs q.l.
+                    lc = flat._left_child[n3]
+                    has = lc >= 0
+                    if has.any():
+                        child = lc[has]
+                        off = flat._sub_off[child]
+                        end = off + flat._sub_len[child]
+                        ins = self.rank_search(
+                            flat._sub_rights_key,
+                            flat._sorted_rights,
+                            rank_m,
+                            child,
+                            live_l[c3][has],
+                            "left",
+                        )
+                        ok = ins < end
+                        emit(q3[has][ok], 2, ins[ok], end[ok] - 1, off[ok])
+                    # Right child: subtree list by left endpoint vs q.r.
+                    rc = flat._right_child[n3]
+                    has = rc >= 0
+                    if has.any():
+                        child = rc[has]
+                        off = flat._sub_off[child]
+                        ins = self.rank_search(
+                            flat._sub_lefts_key,
+                            flat._sorted_lefts,
+                            rank_m,
+                            child,
+                            live_r[c3][has],
+                            "right",
+                        )
+                        hi = ins - 1
+                        ok = hi >= off
+                        emit(q3[has][ok], 3, off[ok], hi[ok], off[ok])
+
+                nxt = np.where(c1, flat._left_child[node], flat._right_child[node])
+                nxt = np.where(c3, -1, nxt)
+                alive = nxt >= 0
+                qidx = qidx[alive]
+                node = nxt[alive]
+                live_l = live_l[alive]
+                live_r = live_r[alive]
+
+        if not chunks:
+            empty = np.empty(0, dtype=_ID)
+            return empty, empty, empty, empty, np.empty(0, dtype=_F8)
+
+        query = np.concatenate([c[0] for c in chunks])
+        kind = np.concatenate([np.full(c[0].shape[0], c[1], dtype=_ID) for c in chunks])
+        lo = np.concatenate([c[2] for c in chunks])
+        hi = np.concatenate([c[3] for c in chunks])
+        seg_off = np.concatenate([c[4] for c in chunks])
+
+        base = flat._kind_base[kind]
+        glo = base + lo
+        ghi = base + hi
+        gbase = base + seg_off
+        # Group records by query (stable, so traversal order is preserved
+        # within each query — the record-order contract of the interface).
+        order = np.argsort(query, kind="stable")
+        query = query[order]
+        glo = glo[order]
+        ghi = ghi[order]
+        gbase = gbase[order]
+        weight = record_weights(
+            flat._all_weight_prefix if flat._weighted else None, glo, ghi, gbase
+        )
+        return query, glo, ghi, gbase, weight

@@ -48,6 +48,7 @@ from ..core.ait import AIT
 from ..core.awit import AWIT
 from ..core.dataset import IntervalDataset
 from ..core.errors import SnapshotCorruptError
+from ..kernels import resolve_backend
 from .checksum import CHECKSUM_ALGORITHM
 from .snapshot import (
     FORMAT_VERSION,
@@ -295,16 +296,19 @@ def _unlink_quiet(path: str) -> None:
 # ---------------------------------------------------------------------- #
 # open / recover
 # ---------------------------------------------------------------------- #
-def _restore_tree(arrays: dict, weighted: bool, batch_pool_size: Optional[int]):
+def _restore_tree(arrays: dict, weighted: bool, batch_pool_size: Optional[int],
+                  kernel_backend=None):
     """Rebuild a shard's local tree (columnar, node graph deferred) and, when
     the saved state was pristine, adopt the loaded snapshot for incremental
     refreshes."""
     weights = arrays.get("col_weights") if weighted else None
     dataset = IntervalDataset(arrays["col_lefts"], arrays["col_rights"], weights)
     if weighted:
-        tree = AWIT(dataset, batch_pool_size=batch_pool_size, build_backend="columnar")
+        tree = AWIT(dataset, batch_pool_size=batch_pool_size, build_backend="columnar",
+                    kernel_backend=kernel_backend)
     else:
-        tree = AIT(dataset, batch_pool_size=batch_pool_size, build_backend="columnar")
+        tree = AIT(dataset, batch_pool_size=batch_pool_size, build_backend="columnar",
+                   kernel_backend=kernel_backend)
     deleted = arrays["deleted"]
     tree._deleted = set(int(g) for g in deleted)
     tree._active_count = int(tree._col_len) - len(tree._deleted)
@@ -313,10 +317,11 @@ def _restore_tree(arrays: dict, weighted: bool, batch_pool_size: Optional[int]):
 
 
 def _restore_shard(shard_cls, arrays: dict, meta: dict,
-                   batch_pool_size: Optional[int]):
+                   batch_pool_size: Optional[int], kernel_backend=None):
     weighted = bool(meta["weighted"])
-    tree = _restore_tree(arrays, weighted, batch_pool_size)
-    snapshot = flat_from_arrays(arrays, weighted, prefix="flat.")
+    tree = _restore_tree(arrays, weighted, batch_pool_size, kernel_backend=kernel_backend)
+    snapshot = flat_from_arrays(arrays, weighted, prefix="flat.",
+                                kernel_backend=kernel_backend)
     if meta.get("pristine"):
         # The snapshot equals a treeless rebuild of the restored columns
         # bit-for-bit, so the tree can adopt it: the first write replay will
@@ -352,10 +357,12 @@ def _read_manifest(directory: str, epoch: int) -> dict:
 
 
 def _load_epoch(engine_cls, directory: str, manifest: dict, mmap: bool, verify: bool,
-                executor, parallel_refresh: bool, batch_pool_size: Optional[int]):
+                executor, parallel_refresh: bool, batch_pool_size: Optional[int],
+                kernel_backend=None):
     from ..service.executor import resolve_executor
     from ..service.shard import Shard
 
+    kernels = resolve_backend(kernel_backend)
     engine_arrays, engine_meta = load_arrays(
         os.path.join(directory, manifest["engine"]), mmap=mmap, verify=verify
     )
@@ -366,10 +373,12 @@ def _load_epoch(engine_cls, directory: str, manifest: dict, mmap: bool, verify: 
         arrays, meta = load_arrays(os.path.join(directory, name), mmap=mmap, verify=verify)
         if meta.get("kind") != "shard":
             raise SnapshotCorruptError(f"{name}: not a shard snapshot file")
-        shards.append(_restore_shard(Shard, arrays, meta, batch_pool_size))
+        shards.append(_restore_shard(Shard, arrays, meta, batch_pool_size,
+                                     kernel_backend=kernels))
     shards.sort(key=lambda shard: shard.shard_id)
 
     engine = engine_cls.__new__(engine_cls)
+    engine._kernel_backend = kernels
     engine._weighted = bool(engine_meta["weighted"])
     engine._policy = str(engine_meta["policy"])
     engine._build_backend = str(engine_meta.get("build_backend", "columnar"))
@@ -426,7 +435,7 @@ def _apply_wal_records(engine, shard_index: int, records: list) -> int:
 
 def open_engine(engine_cls, directory, mmap: bool = True, verify: bool = True,
                 fsync: str = "batch", executor=None, parallel_refresh: bool = False,
-                batch_pool_size: Optional[int] = None):
+                batch_pool_size: Optional[int] = None, kernel_backend=None):
     """Restore a :class:`ShardedEngine` from its newest valid epoch.
 
     Falls back epoch by epoch when validation fails (a half-written epoch
@@ -436,6 +445,9 @@ def open_engine(engine_cls, directory, mmap: bool = True, verify: bool = True,
     normal incremental refresh on first use.
     """
     directory = os.fspath(directory)
+    # Resolve eagerly: a bad backend name must raise ValueError here, not be
+    # swallowed by the per-epoch fallback loop as apparent corruption.
+    kernel_backend = resolve_backend(kernel_backend)
     epochs = snapshot_epochs(directory)
     if not epochs:
         raise SnapshotCorruptError(f"{directory}: no committed snapshot manifest found")
@@ -448,7 +460,7 @@ def open_engine(engine_cls, directory, mmap: bool = True, verify: bool = True,
             manifest = _read_manifest(directory, epoch)
             engine = _load_epoch(
                 engine_cls, directory, manifest, mmap, verify, executor,
-                parallel_refresh, batch_pool_size,
+                parallel_refresh, batch_pool_size, kernel_backend=kernel_backend,
             )
             base_epoch = epoch
             break

@@ -53,6 +53,7 @@ from ..core.errors import EmptyResultError, InvalidIntervalError, StructureState
 from ..core.flat import FlatAIT
 from ..core.interval import Interval, validate_endpoints
 from ..core.query import QueryLike, validate_sample_size
+from ..kernels import resolve_backend
 from ..sampling.rng import RandomState, resolve_rng, spawn_seeds
 from .executor import resolve_executor
 from .shard import Shard
@@ -99,6 +100,12 @@ class ShardedEngine:
         and full snapshot rebuilds never allocate Python tree nodes; a
         shard only materialises its node graph when a write batch is
         replayed into it.  ``"tree"`` keeps the legacy eager node build.
+    kernel_backend:
+        Forwarded to every shard's tree: which kernel implementation the
+        shard snapshots run their hot loops on (``"numpy"`` default,
+        ``"numba"``, ``"python"``; see :mod:`repro.kernels`).  Process
+        executor workers inherit the choice through the shared-memory
+        publish descriptor, so all execution tiers run the same kernels.
     parallel_refresh:
         When True, shard construction and delta-log refreshes fan out over
         the engine's executor (one task per shard; shards are disjoint, so
@@ -133,11 +140,15 @@ class ShardedEngine:
         batch_pool_size: Optional[int] = None,
         build_backend: str = "columnar",
         parallel_refresh: bool = False,
+        kernel_backend=None,
     ) -> None:
         self._weighted = dataset.is_weighted if weighted is None else bool(weighted)
         parts = dataset.partition_indices(num_shards, policy)
         self._policy = policy
         self._build_backend = build_backend
+        # Resolved once so a bad name fails here and every shard shares one
+        # backend instance (kernels are stateless — see repro.kernels).
+        self._kernel_backend = resolve_backend(kernel_backend)
         self._parallel_refresh = bool(parallel_refresh)
         self._executor, self._owns_executor = resolve_executor(executor)
         # Durability attachment (populated by save_snapshot / open).
@@ -148,7 +159,13 @@ class ShardedEngine:
         def build_shard(item: tuple[int, np.ndarray]) -> Shard:
             index, ids = item
             return Shard(
-                index, dataset, ids, self._weighted, batch_pool_size, build_backend
+                index,
+                dataset,
+                ids,
+                self._weighted,
+                batch_pool_size,
+                build_backend,
+                kernel_backend=self._kernel_backend,
             )
 
         try:
@@ -211,6 +228,11 @@ class ShardedEngine:
     def build_backend(self) -> str:
         """The shard-tree build backend this engine was built with."""
         return self._build_backend
+
+    @property
+    def kernel_backend(self) -> str:
+        """Registry name of the kernel backend the shard snapshots run on."""
+        return self._kernel_backend.name
 
     @property
     def parallel_refresh(self) -> bool:
@@ -392,6 +414,7 @@ class ShardedEngine:
         executor=None,
         parallel_refresh: bool = False,
         batch_pool_size: Optional[int] = None,
+        kernel_backend=None,
     ) -> "ShardedEngine":
         """Restore an engine from its newest valid snapshot epoch + WAL chain.
 
@@ -413,6 +436,7 @@ class ShardedEngine:
             executor=executor,
             parallel_refresh=parallel_refresh,
             batch_pool_size=batch_pool_size,
+            kernel_backend=kernel_backend,
         )
 
     def sync_wal(self) -> None:

@@ -202,6 +202,7 @@ class RequestGateway:
         out["engine"] = {
             "executor": getattr(engine, "executor_kind", type(engine).__name__),
             "num_shards": getattr(engine, "num_shards", 1),
+            "kernel_backend": getattr(engine, "kernel_backend", "numpy"),
         }
         return out
 

@@ -75,6 +75,7 @@ class Shard:
         weighted: bool,
         batch_pool_size: Optional[int] = None,
         build_backend: str = "columnar",
+        kernel_backend=None,
     ) -> None:
         self.shard_id = int(shard_id)
         # Local->global id map as a bare int64 array with amortised growth;
@@ -92,12 +93,14 @@ class Shard:
                 local_dataset,
                 batch_pool_size=batch_pool_size,
                 build_backend=build_backend,
+                kernel_backend=kernel_backend,
             )
         else:
             self.tree = AIT(
                 local_dataset,
                 batch_pool_size=batch_pool_size,
                 build_backend=build_backend,
+                kernel_backend=kernel_backend,
             )
         self._pending: list[DeltaOp] = []
         #: Optional write-ahead log (:class:`repro.persist.DeltaLog`); when

@@ -239,6 +239,7 @@ def publish_shard(shard) -> ShardSegment:
         "shard_id": int(shard.shard_id),
         "version": int(shard.version),
         "weighted": bool(shard.snapshot.is_weighted),
+        "kernel": shard.snapshot.kernel_backend,
         "arrays": entries,
     }
     return ShardSegment(shm, manifest)
@@ -291,7 +292,9 @@ def attach_segment(manifest: dict) -> ShardView:
         array.setflags(write=False)
         arrays[entry["name"]] = array
     global_map = arrays.pop("global_map")
-    snapshot = FlatAIT.from_buffers(arrays, bool(manifest["weighted"]))
+    snapshot = FlatAIT.from_buffers(
+        arrays, bool(manifest["weighted"]), kernel_backend=manifest.get("kernel")
+    )
     return ShardView(manifest["shard_id"], snapshot, global_map, segment=shm)
 
 

@@ -33,6 +33,7 @@ EXTRA_IDS = {
     "build_throughput",
     "recovery",
     "parallel_scaling",
+    "kernel_throughput",
 }
 
 EXPECTED_IDS = PAPER_IDS | EXTRA_IDS

@@ -1,0 +1,369 @@
+"""Kernel backend registry contracts and cross-backend bit-identity.
+
+The backend interface (:mod:`repro.kernels`) promises that every backend is
+*bit-identical* to the numpy reference — same counts, same report chunks,
+same weighted totals, and, because randomness is always consumed from the
+caller's generator in a fixed order, the same sample draws under the same
+seed.  This suite pins that promise at three granularities:
+
+* registry contracts — singleton instances, the ``REPRO_KERNEL_BACKEND``
+  environment default, instance passthrough, and the numba-missing fallback
+  (warn once, return numpy, stay truthful about ``name``);
+* unit equivalence — ``segmented_cumsum`` / ``rank_search`` /
+  ``weighted_pick`` / ``endpoint_ranks`` compared element-for-element
+  (``tobytes`` equality, so ``-0.0`` vs ``0.0`` drift would fail);
+* end-to-end equivalence — whole :class:`~repro.core.flat.FlatAIT` snapshots
+  and :class:`~repro.service.ShardedEngine` instances built per backend over
+  the same data answer every batch operation identically, across sizes
+  n ∈ {0, 1, 2, 63, 1000} (0 = empty guards, 1-2 = degenerate trees,
+  63 = one full level-synchronous descent, 1000 = realistic fan-out),
+  weighted and unweighted, and shard counts K ∈ {1, 4}.
+
+The ``numba`` backend joins the sweep automatically when numba is
+importable; without it the ``python`` backend (the same loop kernels,
+interpreted) keeps the loop-kernel code path under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels_module
+from repro import AIT, AWIT, IntervalDataset, ShardedEngine
+from repro.core.flat import FlatAIT
+from repro.kernels import (
+    KERNEL_BACKEND_ENV,
+    KERNEL_BACKEND_NAMES,
+    KernelBackend,
+    NumpyBackend,
+    get_backend,
+    numba_available,
+    resolve_backend,
+)
+
+#: Backends compared against the numpy oracle (numba only when importable).
+ALT_BACKENDS = ("python",) + (("numba",) if numba_available() else ())
+
+SIZES = (0, 1, 2, 63, 1000)
+
+
+def make_endpoints(n: int, weighted: bool, seed: int = 7):
+    rng = np.random.default_rng(seed + n)
+    lefts = rng.uniform(0.0, 1000.0, n)
+    rights = lefts + rng.uniform(0.1, 60.0, n)
+    weights = rng.uniform(0.1, 5.0, n) if weighted else None
+    return lefts, rights, weights
+
+
+def make_queries(count: int = 48, seed: int = 11) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    ql = rng.uniform(-50.0, 1050.0, count)
+    qr = ql + rng.uniform(0.0, 200.0, count)
+    return np.column_stack([ql, qr])
+
+
+def chunks_equal(a: list[np.ndarray], b: list[np.ndarray]) -> bool:
+    return len(a) == len(b) and all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+# --------------------------------------------------------------------------- #
+# registry contracts
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["numpy", "python"])
+    def test_singleton_per_name(self, name):
+        assert get_backend(name) is get_backend(name)
+        assert get_backend(name).name == name
+        assert name in KERNEL_BACKEND_NAMES
+
+    def test_describe_shape(self):
+        info = get_backend("numpy").describe()
+        assert info == {"name": "numpy", "jit": False}
+
+    def test_unknown_name_pinned_message(self):
+        with pytest.raises(
+            ValueError,
+            match=r"unknown kernel backend 'avx': "
+            r"expected one of 'numpy', 'numba', 'python'",
+        ):
+            get_backend("avx")
+
+    def test_resolve_none_defaults_to_numpy(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        assert resolve_backend(None).name == "numpy"
+
+    def test_resolve_honours_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "python")
+        assert resolve_backend(None).name == "python"
+        # An explicit argument always beats the environment.
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_resolve_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_rejects_non_backend_pinned_message(self):
+        with pytest.raises(
+            TypeError,
+            match=r"kernel_backend must be None, a backend name, or a "
+            r"KernelBackend instance, got int",
+        ):
+            resolve_backend(7)
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed here")
+    def test_numba_fallback_warns_once_and_stays_truthful(self, monkeypatch):
+        monkeypatch.setattr(kernels_module, "_warned_numba_missing", False)
+        with pytest.warns(RuntimeWarning, match="numba is not installed"):
+            backend = get_backend("numba")
+        # The fallback never lies about what is running.
+        assert backend.name == "numpy"
+        assert backend is get_backend("numpy")
+        # Once per process: the second request is silent.
+        with warnings_none():
+            assert get_backend("numba") is backend
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not installed")
+    def test_numba_backend_is_jit_when_available(self):
+        backend = get_backend("numba")
+        assert backend.name == "numba"
+        assert backend.jit is True
+
+    def test_env_var_resolves_at_construction(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "python")
+        lefts, rights, _ = make_endpoints(16, weighted=False)
+        flat = FlatAIT.from_arrays(lefts, rights)
+        assert flat.kernel_backend == "python"
+
+    def test_abstract_base_is_exported(self):
+        assert issubclass(NumpyBackend, KernelBackend)
+
+
+class warnings_none:
+    """Context manager asserting no warnings are emitted inside the block."""
+
+    def __enter__(self):
+        import warnings
+
+        self._catcher = warnings.catch_warnings(record=True)
+        self._records = self._catcher.__enter__()
+        import warnings as _w
+
+        _w.simplefilter("always")
+        return self._records
+
+    def __exit__(self, *exc):
+        self._catcher.__exit__(*exc)
+        assert not self._records, f"unexpected warnings: {self._records}"
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# unit kernel equivalence
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+class TestUnitKernels:
+    def test_segmented_cumsum(self, backend):
+        rng = np.random.default_rng(3)
+        lengths = np.asarray([0, 1, 5, 0, 17, 2, 64, 3], dtype=np.int64)
+        values = rng.uniform(-2.0, 2.0, int(lengths.sum()))
+        values[0] = -0.0  # first element of a segment must keep its sign bit
+        ref = get_backend("numpy").segmented_cumsum(values, lengths)
+        alt = get_backend(backend).segmented_cumsum(values, lengths)
+        assert ref.tobytes() == alt.tobytes()
+
+    def test_segmented_cumsum_empty(self, backend):
+        empty = np.empty(0, dtype=np.float64)
+        lengths = np.zeros(3, dtype=np.int64)
+        ref = get_backend("numpy").segmented_cumsum(empty, lengths)
+        alt = get_backend(backend).segmented_cumsum(empty, lengths)
+        assert ref.tobytes() == alt.tobytes()
+
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_rank_search(self, backend, side):
+        rng = np.random.default_rng(5)
+        sorted_values = np.unique(rng.uniform(0.0, 100.0, 60))
+        rank_m = np.int64(sorted_values.shape[0] + 1)
+        nodes = rng.integers(0, 6, 40).astype(np.int64)
+        needles = rng.uniform(-5.0, 105.0, 40)
+        needles[:3] = sorted_values[:3]  # exact hits exercise the side logic
+        key_pool = np.sort(rng.integers(0, 6 * int(rank_m), 300).astype(np.int64))
+        ref = get_backend("numpy").rank_search(
+            key_pool, sorted_values, rank_m, nodes, needles, side
+        )
+        alt = get_backend(backend).rank_search(
+            key_pool, sorted_values, rank_m, nodes, needles, side
+        )
+        assert ref.tobytes() == alt.tobytes()
+
+    def test_weighted_pick(self, backend):
+        rng = np.random.default_rng(9)
+        prefix = np.cumsum(rng.uniform(0.05, 3.0, 200))
+        lo = rng.integers(0, 150, 64).astype(np.int64)
+        hi = lo + rng.integers(0, 49, 64).astype(np.int64)
+        uniforms = rng.random(64)
+        uniforms[0] = 0.0  # threshold lands exactly on the segment floor
+        ref = get_backend("numpy").weighted_pick(prefix, lo, hi, uniforms)
+        alt = get_backend(backend).weighted_pick(prefix, lo, hi, uniforms)
+        assert ref.tobytes() == alt.tobytes()
+        base = np.maximum(lo - 2, 0)
+        ref_b = get_backend("numpy").weighted_pick(prefix, lo, hi, uniforms, base=base)
+        alt_b = get_backend(backend).weighted_pick(prefix, lo, hi, uniforms, base=base)
+        assert ref_b.tobytes() == alt_b.tobytes()
+
+    def test_endpoint_ranks(self, backend):
+        rng = np.random.default_rng(13)
+        sorted_lefts = np.sort(rng.uniform(0.0, 100.0, 120))
+        sorted_rights = np.sort(sorted_lefts + rng.uniform(0.1, 10.0, 120))
+        ql = rng.uniform(-10.0, 110.0, 50)
+        qr = ql + rng.uniform(0.0, 30.0, 50)
+        ref = get_backend("numpy").endpoint_ranks(sorted_lefts, sorted_rights, ql, qr)
+        alt = get_backend(backend).endpoint_ranks(sorted_lefts, sorted_rights, ql, qr)
+        for a, b in zip(ref, alt):
+            assert a.tobytes() == b.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end FlatAIT equivalence
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+@pytest.mark.parametrize("weighted", [False, True], ids=["unweighted", "weighted"])
+@pytest.mark.parametrize("n", SIZES)
+class TestFlatEquivalence:
+    def test_flat_batch_operations_bit_identical(self, n, weighted, backend):
+        lefts, rights, weights = make_endpoints(n, weighted)
+        ref = FlatAIT.from_arrays(lefts, rights, weights=weights, kernel_backend="numpy")
+        alt = FlatAIT.from_arrays(lefts, rights, weights=weights, kernel_backend=backend)
+        assert ref.kernel_backend == "numpy"
+        assert alt.kernel_backend == backend
+        queries = make_queries()
+
+        assert np.array_equal(ref.count_many(queries), alt.count_many(queries))
+        assert chunks_equal(ref.report_many(queries), alt.report_many(queries))
+        ref_w = ref.total_weight_many(queries)
+        alt_w = alt.total_weight_many(queries)
+        assert ref_w.tobytes() == alt_w.tobytes()
+
+        ref_records = ref.collect_records_batch(*ref.coerce_queries(queries))
+        alt_records = alt.collect_records_batch(*alt.coerce_queries(queries))
+        for field in ("query", "glo", "ghi", "gbase"):
+            assert np.array_equal(getattr(ref_records, field), getattr(alt_records, field))
+        assert ref_records.weight.tobytes() == alt_records.weight.tobytes()
+
+        ref_draws = ref.sample_many(queries, 17, random_state=np.random.default_rng(99))
+        alt_draws = alt.sample_many(queries, 17, random_state=np.random.default_rng(99))
+        assert chunks_equal(ref_draws, alt_draws)
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end engine equivalence
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+@pytest.mark.parametrize("weighted", [False, True], ids=["unweighted", "weighted"])
+@pytest.mark.parametrize("shards", [1, 4])
+class TestEngineEquivalence:
+    def test_engine_backend_bit_identical(self, shards, weighted, backend):
+        lefts, rights, weights = make_endpoints(1000, weighted)
+        dataset = IntervalDataset(lefts, rights, weights)
+        queries = make_queries(count=32)
+        with ShardedEngine(dataset, num_shards=shards, kernel_backend="numpy") as ref:
+            assert ref.kernel_backend == "numpy"
+            ref_counts = ref.count_many(queries)
+            ref_report = ref.report_many(queries)
+            ref_weights = ref.total_weight_many(queries)
+            ref_draws = ref.sample_many(queries, 9, random_state=np.random.default_rng(4))
+        with ShardedEngine(dataset, num_shards=shards, kernel_backend=backend) as alt:
+            assert alt.kernel_backend == backend
+            assert np.array_equal(ref_counts, alt.count_many(queries))
+            assert chunks_equal(ref_report, alt.report_many(queries))
+            assert ref_weights.tobytes() == alt.total_weight_many(queries).tobytes()
+            alt_draws = alt.sample_many(queries, 9, random_state=np.random.default_rng(4))
+            assert chunks_equal(ref_draws, alt_draws)
+
+
+# --------------------------------------------------------------------------- #
+# layer threading
+# --------------------------------------------------------------------------- #
+class TestThreading:
+    @pytest.mark.parametrize("backend", ALT_BACKENDS)
+    def test_tree_flat_inherits_backend(self, backend):
+        lefts, rights, weights = make_endpoints(64, weighted=True)
+        tree = AWIT(IntervalDataset(lefts, rights, weights), kernel_backend=backend)
+        assert tree.kernel_backend == backend
+        assert tree.flat().kernel_backend == backend
+
+    def test_bad_name_fails_at_tree_construction(self):
+        lefts, rights, _ = make_endpoints(8, weighted=False)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            AIT(IntervalDataset(lefts, rights), kernel_backend="fortran")
+
+    def test_bad_name_fails_at_engine_construction(self):
+        lefts, rights, _ = make_endpoints(8, weighted=False)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            ShardedEngine(IntervalDataset(lefts, rights), kernel_backend="fortran")
+
+    def test_snapshot_roundtrip_accepts_backend(self, tmp_path):
+        lefts, rights, _ = make_endpoints(64, weighted=False)
+        flat = FlatAIT.from_arrays(lefts, rights)
+        path = tmp_path / "flat.snap"
+        flat.save(path)
+        loaded = FlatAIT.load(path, kernel_backend="python")
+        assert loaded.kernel_backend == "python"
+        queries = make_queries(count=16)
+        assert np.array_equal(flat.count_many(queries), loaded.count_many(queries))
+
+    def test_engine_open_threads_backend(self, tmp_path):
+        lefts, rights, _ = make_endpoints(200, weighted=False)
+        dataset = IntervalDataset(lefts, rights)
+        queries = make_queries(count=16)
+        with ShardedEngine(dataset, num_shards=2) as engine:
+            engine.save_snapshot(tmp_path)
+            expected = engine.count_many(queries)
+        with ShardedEngine.open(tmp_path, kernel_backend="python") as restored:
+            assert restored.kernel_backend == "python"
+            for shard in restored.shards:
+                assert shard.snapshot.kernel_backend == "python"
+            assert np.array_equal(expected, restored.count_many(queries))
+
+    def test_gateway_stats_report_backend(self):
+        from repro import RequestGateway
+
+        lefts, rights, _ = make_endpoints(64, weighted=False)
+        with ShardedEngine(
+            IntervalDataset(lefts, rights), num_shards=2, kernel_backend="python"
+        ) as engine:
+            with RequestGateway(engine) as gateway:
+                assert gateway.stats()["engine"]["kernel_backend"] == "python"
+
+    def test_process_executor_workers_inherit_backend(self):
+        from repro.service import ProcessExecutor
+        from repro.service.shm import attach_segment, publish_shard
+
+        lefts, rights, _ = make_endpoints(300, weighted=False)
+        dataset = IntervalDataset(lefts, rights)
+        queries = make_queries(count=16)
+        # The publish descriptor carries the backend name across the process
+        # boundary: attach in-process and check the rebuilt view.
+        with ShardedEngine(dataset, num_shards=1, kernel_backend="python") as engine:
+            segment = publish_shard(engine.shards[0])
+            try:
+                assert segment.manifest["kernel"] == "python"
+                view = attach_segment(segment.manifest)
+                try:
+                    assert view.snapshot.kernel_backend == "python"
+                finally:
+                    view.segment.close()
+            finally:
+                segment.unlink()
+        # And end to end: a process-executor engine on an alt backend answers
+        # bit-identically to the serial numpy engine.
+        with ShardedEngine(dataset, num_shards=2, executor="serial") as ref:
+            expected = ref.count_many(queries)
+        executor = ProcessExecutor(max_workers=2)
+        try:
+            with ShardedEngine(
+                dataset, num_shards=2, executor=executor, kernel_backend="python"
+            ) as engine:
+                assert np.array_equal(expected, engine.count_many(queries))
+        finally:
+            executor.shutdown()

@@ -1,0 +1,27 @@
+"""Version drift guard: the package and pyproject must agree.
+
+``repro.__version__`` is what running code reports (bench payloads, stats);
+``pyproject.toml`` is what an installed distribution claims.  The two are
+maintained by hand in two files, so this test is the only thing keeping a
+release bump from landing in one place and not the other.
+"""
+
+from __future__ import annotations
+
+import re
+import tomllib
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def test_package_version_matches_pyproject():
+    with PYPROJECT.open("rb") as handle:
+        pyproject = tomllib.load(handle)
+    assert repro.__version__ == pyproject["project"]["version"]
+
+
+def test_version_is_semver_shaped():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__), repro.__version__
