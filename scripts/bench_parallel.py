@@ -6,10 +6,12 @@ Usage::
     PYTHONPATH=src python scripts/bench_parallel.py [--out BENCH_parallel.json]
 
 For each dataset size the script sweeps shard counts K with the serial
-scatter loop and the :class:`~repro.service.ProcessExecutor` (long-lived
-workers over shared-memory shard snapshots), times ``count_many`` and
-``sample_many`` on the same workload, and records queries/second per
-(n, operation, shards, executor) plus two derived columns:
+scatter loop and the :class:`~repro.service.ProcessExecutor` under both
+scatter strategies — ``scatter="data"`` (one worker per shard, the PR 7
+behaviour) and ``scatter="query"`` (shard x query-block tiles over all
+workers) — times ``count_many`` and ``sample_many`` on the same workload,
+and records queries/second per (n, operation, shards, executor, scatter)
+plus two derived columns:
 
 * ``vs_serial_k1``      — throughput relative to the serial K=1 engine
   (the scaling curve this PR exists to move);
@@ -19,13 +21,13 @@ workers over shared-memory shard snapshots), times ``count_many`` and
 
 Numbers are hardware-honest: ``config.cpu_count`` records the cores the
 sweep actually had.  ``count_many`` per shard is two ``searchsorted``
-passes — sharding splits the data, not the O(Q·log n) work, so its
-data-parallel speedup is bounded by log n / log(n/K) even on a many-core
-box; sampling carries divisible per-shard draw/output work and is where
-process parallelism can pay.  On a single-core runner every process row
-additionally pays IPC with no parallel gain, which is why the regression
-gate treats the scaling ratios as advisory (wide tolerance) and gates hard
-only on ``results_identical``.
+passes — data sharding splits the data, not the O(Q·log n) work, so the
+data scatter's count speedup is bounded by log n / log(n/K) even on a
+many-core box; the query scatter divides the batch itself and is the row
+that can exceed 1x on count given real cores.  On a single-core runner
+every process row pays IPC with no parallel gain, which is why the
+regression gate treats the scaling ratios as advisory (wide tolerance) and
+gates hard only on ``results_identical``.
 """
 
 from __future__ import annotations
@@ -68,21 +70,24 @@ def bench_one(
         if not baselines:
             baselines = {"count": serial_count, "sample": serial_sample}
 
-        executor = ProcessExecutor(max_workers=shards)
-        try:
-            with ShardedEngine(dataset, num_shards=shards, executor=executor) as engine:
-                process_count, process_sample, counts, draws = measure_engine(
-                    engine, query_array, sample_size, repeats
-                )
-        finally:
-            executor.shutdown()
-        identical = results_identical(reference, (counts, draws))
+        measured = [("serial", None, serial_count, serial_sample, True)]
+        # Same worker budget for both scatter strategies; the data scatter
+        # additionally caps itself at K (extra workers could never be busy),
+        # so K=1 shows exactly what query tiling buys over data sharding.
+        for scatter in ("data", "query"):
+            executor = ProcessExecutor(max_workers=max(shards, 2), scatter=scatter)
+            try:
+                with ShardedEngine(dataset, num_shards=shards, executor=executor) as engine:
+                    process_count, process_sample, counts, draws = measure_engine(
+                        engine, query_array, sample_size, repeats
+                    )
+            finally:
+                executor.shutdown()
+            identical = results_identical(reference, (counts, draws))
+            measured.append(("process", scatter, process_count, process_sample, identical))
 
-        for operation, serial_qps, process_qps in (
-            ("count", serial_count, process_count),
-            ("sample", serial_sample, process_sample),
-        ):
-            for executor_name, qps in (("serial", serial_qps), ("process", process_qps)):
+        for executor_name, scatter, count_qps, sample_qps, identical in measured:
+            for operation, qps in (("count", count_qps), ("sample", sample_qps)):
                 ratio = qps / baselines[operation] if baselines[operation] > 0 else float("inf")
                 rows.append(
                     {
@@ -90,13 +95,15 @@ def bench_one(
                         "operation": operation,
                         "shards": shards,
                         "executor": executor_name,
+                        "scatter": scatter,
                         "qps": round(qps, 1),
                         "vs_serial_k1": round(ratio, 3),
                         "results_identical": bool(identical),
                     }
                 )
+                label = executor_name if scatter is None else f"{executor_name}/{scatter}"
                 print(
-                    f"n={n:>7} {operation:<7} K={shards} {executor_name:<8}"
+                    f"n={n:>7} {operation:<7} K={shards} {label:<14}"
                     f" {qps:>12.0f} q/s   {ratio:5.2f}x serial-K1"
                     f"   identical={identical}"
                 )

@@ -32,9 +32,11 @@ measure a *design property* rather than the hardware:
   tree-walk full build, and the hard invariant that both builders emit
   bit-identical snapshot arrays;
 * ``BENCH_parallel.json``   — the hard invariant that the process executor's
-  answers are bit-identical to the serial executor's at the same shard count,
-  plus advisory process-vs-serial throughput ratios (parallel speedup is a
-  property of the runner's core count, recorded in ``config.cpu_count``);
+  answers are bit-identical to the serial executor's at the same shard count
+  under *both* scatter strategies (``data`` and ``query``), plus advisory
+  process-vs-serial throughput ratios per (operation, scatter) — parallel
+  speedup is a property of the runner's core count, recorded in
+  ``config.cpu_count``;
 * ``BENCH_kernels.json``    — the hard invariant that every kernel backend's
   answers are bit-identical to the numpy reference backend's, plus advisory
   per-backend throughput ratios (JIT speedup is a property of the runner —
@@ -134,6 +136,7 @@ SCHEMAS: dict[str, dict] = {
                 "operation",
                 "shards",
                 "executor",
+                "scatter",
                 "qps",
                 "vs_serial_k1",
                 "results_identical",
@@ -308,14 +311,16 @@ def _parallel_indicators(payload: dict) -> dict[str, float]:
         else 0.0,
     }
     # Advisory scaling indicators (wide-tolerance compare): best relative
-    # throughput of the process executor per operation.  Raw parallel speedup
-    # is a property of the runner's core count (config.cpu_count), so these
-    # gate only against order-of-magnitude collapses such as a
-    # republish-every-batch bug, not against hardware differences.
+    # throughput of the process executor per (operation, scatter strategy).
+    # Raw parallel speedup is a property of the runner's core count
+    # (config.cpu_count), so these gate only against order-of-magnitude
+    # collapses such as a republish-every-batch bug, not against hardware
+    # differences.
     for row in payload["results"]:
         if row["executor"] != "process":
             continue
-        key = f"process_vs_serial_k1[{row['operation']}]"
+        scatter = row.get("scatter") or "data"
+        key = f"process_vs_serial_k1[{row['operation']}:{scatter}]"
         out[key] = max(out.get(key, 0.0), float(row["vs_serial_k1"]))
     return out
 

@@ -7,8 +7,10 @@ Usage::
     PYTHONPATH=src python scripts/check_docs.py doctests    # docstring examples
     PYTHONPATH=src python scripts/check_docs.py links       # docs/*.md + README links
     PYTHONPATH=src python scripts/check_docs.py snippets    # ```python blocks execute
+    PYTHONPATH=src python scripts/check_docs.py knobs       # TUNING.md knobs resolve
+    PYTHONPATH=src python scripts/check_docs.py experiments # REPRODUCING index in sync
 
-Three checks keep the documentation subsystem from rotting:
+Five checks keep the documentation subsystem from rotting:
 
 * **doctests** — every ``>>>`` example in the public-API docstrings
   (:data:`DOCTEST_MODULES`) runs via :mod:`doctest` and must reproduce its
@@ -18,10 +20,21 @@ Three checks keep the documentation subsystem from rotting:
   not fetched);
 * **snippets** — every fenced ```python`` block in ``README.md`` and
   ``docs/*.md`` must execute without raising (run under ``PYTHONPATH=src``,
-  sharing one namespace per file, in file order).
+  sharing one namespace per file, in file order);
+* **knobs** — every knob named in a ``docs/TUNING.md`` table row (the
+  backticked token leading the row) must resolve against the live code: a
+  keyword parameter of the public constructors/entry points, or a registered
+  value name (executor / scatter / kernel-backend / fsync registries).  A
+  renamed or removed knob fails here instead of leaving the tuning guide
+  describing settings that no longer exist;
+* **experiments** — the experiments index block in ``docs/REPRODUCING.md``
+  (between the ``experiments-index`` markers) must equal
+  ``render_experiments_index()`` from
+  ``scripts/generate_experiments_md.py``, so the documented index cannot
+  drift from ``repro.experiments.registry``.
 
-``tests/test_docs.py`` runs the same three checks inside the tier-1 suite;
-this script is the standalone/CI entry point.
+``tests/test_docs.py`` runs the same checks inside the tier-1 suite; this
+script is the standalone/CI entry point.
 """
 
 from __future__ import annotations
@@ -128,19 +141,129 @@ def run_snippets(docs: tuple[str, ...] = DOC_FILES) -> list[str]:
     return failures
 
 
+#: Leading backticked token of a TUNING.md table row: the knob name, with or
+#: without an ``=value`` / call-signature tail inside the same code span.
+_KNOB_ROW = re.compile(r"^\|\s*`([A-Za-z_][A-Za-z0-9_]*)[^`]*`")
+
+
+def _resolvable_knobs() -> set[str]:
+    """Every name a TUNING.md knob row may legitimately lead with.
+
+    Keyword parameters of the public constructors / entry points that carry
+    tuning knobs, plus every registered value name (executor kinds, scatter
+    modes, kernel backends, fsync policies) so rows may also be keyed by a
+    concrete setting.
+    """
+    import inspect
+
+    from repro.kernels import KERNEL_BACKEND_NAMES
+    from repro.persist import FSYNC_POLICIES
+    from repro.service import (
+        EXECUTOR_NAMES,
+        SCATTER_NAMES,
+        ProcessExecutor,
+        RequestGateway,
+        ShardedEngine,
+        ThreadedExecutor,
+    )
+
+    names: set[str] = set()
+    for target in (
+        ShardedEngine.__init__,
+        ShardedEngine.open,
+        ShardedEngine.save_snapshot,
+        ProcessExecutor.__init__,
+        ThreadedExecutor.__init__,
+        RequestGateway.__init__,
+    ):
+        names.update(inspect.signature(target).parameters)
+    names.discard("self")
+    names.update(EXECUTOR_NAMES)
+    names.update(SCATTER_NAMES)
+    names.update(KERNEL_BACKEND_NAMES)
+    names.update(FSYNC_POLICIES)
+    return names
+
+
+def check_knobs() -> list[str]:
+    """Verify every knob row in docs/TUNING.md resolves against the code."""
+    path = REPO_ROOT / "docs" / "TUNING.md"
+    if not path.exists():
+        return ["docs/TUNING.md: missing (the tuning guide is a documented deliverable)"]
+    known = _resolvable_knobs()
+    failures: list[str] = []
+    checked = 0
+    for line in path.read_text().splitlines():
+        match = _KNOB_ROW.match(line)
+        if match is None:
+            continue
+        checked += 1
+        token = match.group(1)
+        if token not in known:
+            failures.append(
+                f"docs/TUNING.md: knob `{token}` does not resolve against the code "
+                "(not a public tuning parameter or registered value name)"
+            )
+    if checked == 0:
+        failures.append("docs/TUNING.md: no knob table rows found (backticked first column)")
+    if failures:
+        print(f"knobs FAILED: docs/TUNING.md ({len(failures)}/{checked} rows unresolved)")
+    else:
+        print(f"knobs ok: docs/TUNING.md ({checked} knob rows resolve)")
+    return failures
+
+
+def check_experiments_index() -> list[str]:
+    """Verify the REPRODUCING.md experiments index equals the registry rendering."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "generate_experiments_md", REPO_ROOT / "scripts" / "generate_experiments_md.py"
+    )
+    generator = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(generator)
+
+    doc = "docs/REPRODUCING.md"
+    text = (REPO_ROOT / doc).read_text()
+    begin, end = generator.INDEX_BEGIN, generator.INDEX_END
+    if begin not in text or end not in text:
+        print(f"experiments FAILED: {doc} (markers missing)")
+        return [f"{doc}: experiments-index markers missing ({begin} ... {end})"]
+    block = text.split(begin, 1)[1].split(end, 1)[0].strip()
+    expected = generator.render_experiments_index().strip()
+    if block != expected:
+        print(f"experiments FAILED: {doc} (index out of sync with the registry)")
+        return [
+            f"{doc}: experiments index is stale — replace the block between the "
+            "experiments-index markers with render_experiments_index() from "
+            "scripts/generate_experiments_md.py"
+        ]
+    print(f"experiments ok: {doc} (index matches {len(expected.splitlines()) - 2} registry entries)")
+    return []
+
+
+ALL_CHECKS = ["doctests", "links", "snippets", "knobs", "experiments"]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "checks",
         nargs="*",
-        choices=["doctests", "links", "snippets", []],
+        choices=ALL_CHECKS + [[]],
         help="which checks to run (default: all)",
     )
     args = parser.parse_args(argv)
 
-    runners = {"doctests": run_doctests, "links": check_links, "snippets": run_snippets}
+    runners = {
+        "doctests": run_doctests,
+        "links": check_links,
+        "snippets": run_snippets,
+        "knobs": check_knobs,
+        "experiments": check_experiments_index,
+    }
     failures: list[str] = []
-    for check in args.checks or ["doctests", "links", "snippets"]:
+    for check in args.checks or ALL_CHECKS:
         failures.extend(runners[check]())
     if failures:
         print("\nFAILURES:")

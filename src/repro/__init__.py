@@ -46,7 +46,7 @@ from .persist import DeltaLog
 from .sampling import AliasTable, CumulativeSampler
 from .service import RequestGateway, ShardedEngine
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AIT",

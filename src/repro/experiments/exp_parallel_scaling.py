@@ -1,24 +1,27 @@
 """Parallel scaling — process-executor scatter vs the serial loop.
 
 Not a table from the paper: this experiment tracks the engineering headroom
-of the process-parallel execution tier added with ISSUE 7.  For each dataset
-it sweeps shard counts K with both the serial scatter loop and the
-:class:`~repro.service.ProcessExecutor` (long-lived workers attached to the
-shards' shared-memory snapshots), measures ``count_many`` and
-``sample_many`` throughput, and — the part that gates — asserts that every
-process-executor answer is **bit-identical** to the serial executor's at the
-same K (``identical`` column; exact array equality on counts and on sample
-draws under a fixed seed).
+of the process-parallel execution tier added with ISSUE 7 (and the
+query-parallel scatter of ISSUE 9).  For each dataset it sweeps shard counts
+K with the serial scatter loop and the
+:class:`~repro.service.ProcessExecutor` under both scatter strategies
+(``data`` — one worker per shard; ``query`` — shard x query-block tiles over
+all workers), measures ``count_many`` and ``sample_many`` throughput, and —
+the part that gates — asserts that every process-executor answer is
+**bit-identical** to the serial executor's at the same K (``identical``
+column; exact array equality on counts and on sample draws under a fixed
+seed).
 
 Throughput expectations are hardware-honest.  ``count_many`` per shard is
-two ``searchsorted`` passes, O(Q·log n): sharding *splits the data*, not the
-work (every shard still classifies every query against log(n/K) levels), so
-even on a many-core box the data-parallel speedup is bounded by
-log n / log(n/K) — barely above 1.  Sampling and reporting carry real
-per-shard output work, which does divide.  On a single-core runner every
-process row additionally pays IPC without any gain.  That is why the
-committed baseline records ``cpu_count`` and why the scaling ratios are
-advisory (compared under the regression gate's wide tolerance) while
+two ``searchsorted`` passes, O(Q·log n): data sharding *splits the data*,
+not the work (every shard still classifies every query against log(n/K)
+levels), so even on a many-core box the data scatter's count speedup is
+bounded by log n / log(n/K) — barely above 1.  The query scatter divides
+the batch itself — per-worker work drops to O((Q/W)·K·log(n/K)) — and is
+the strategy that can exceed 1x on count given real cores.  On a
+single-core runner every process row pays IPC without any gain.  That is
+why the committed baseline records ``cpu_count`` and why the scaling ratios
+are advisory (compared under the regression gate's wide tolerance) while
 ``identical`` is a hard 1.0 invariant.
 """
 
@@ -86,6 +89,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "operation",
             "shards",
             "executor",
+            "scatter",
             "qps",
             "vs_serial_k1",
             "identical",
@@ -94,8 +98,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "identical = bit-identity of the row's answers vs the serial "
             "executor at the same K (hard invariant).  vs_serial_k1 = "
             "throughput relative to the serial K=1 engine (advisory; "
-            "count_many work does not partition under data sharding, and on "
-            "a single-core runner process rows pay IPC with no parallel gain)."
+            "count_many work does not partition under the data scatter — the "
+            "query scatter is the one that divides it — and on a single-core "
+            "runner process rows pay IPC with no parallel gain)."
         ),
     )
     repeats = max(1, config.repeats)
@@ -115,38 +120,33 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             if shards == PARALLEL_SHARD_SWEEP[0]:
                 baselines = {"count": serial_count_qps, "sample": serial_sample_qps}
 
-            executor = ProcessExecutor(max_workers=shards)
-            try:
-                with ShardedEngine(
-                    dataset, num_shards=shards, executor=executor
-                ) as engine:
-                    process_count_qps, process_sample_qps, counts, draws = measure_engine(
-                        engine, query_array, sample_size, repeats
-                    )
-            finally:
-                executor.shutdown()
-            identical = results_identical(reference, (counts, draws))
+            measured = [("serial", None, serial_count_qps, serial_sample_qps, True)]
+            for scatter in ("data", "query"):
+                executor = ProcessExecutor(max_workers=max(shards, 2), scatter=scatter)
+                try:
+                    with ShardedEngine(
+                        dataset, num_shards=shards, executor=executor
+                    ) as engine:
+                        process_count_qps, process_sample_qps, counts, draws = measure_engine(
+                            engine, query_array, sample_size, repeats
+                        )
+                finally:
+                    executor.shutdown()
+                identical = results_identical(reference, (counts, draws))
+                measured.append(
+                    ("process", scatter, process_count_qps, process_sample_qps, identical)
+                )
 
-            for operation, serial_qps, process_qps in (
-                ("count", serial_count_qps, process_count_qps),
-                ("sample", serial_sample_qps, process_sample_qps),
-            ):
-                result.add_row(
-                    dataset=dataset_name,
-                    operation=operation,
-                    shards=shards,
-                    executor="serial",
-                    qps=serial_qps,
-                    vs_serial_k1=serial_qps / baselines[operation],
-                    identical=True,
-                )
-                result.add_row(
-                    dataset=dataset_name,
-                    operation=operation,
-                    shards=shards,
-                    executor="process",
-                    qps=process_qps,
-                    vs_serial_k1=process_qps / baselines[operation],
-                    identical=identical,
-                )
+            for executor_name, scatter, count_qps, sample_qps, identical in measured:
+                for operation, qps in (("count", count_qps), ("sample", sample_qps)):
+                    result.add_row(
+                        dataset=dataset_name,
+                        operation=operation,
+                        shards=shards,
+                        executor=executor_name,
+                        scatter=scatter,
+                        qps=qps,
+                        vs_serial_k1=qps / baselines[operation],
+                        identical=identical,
+                    )
     return result

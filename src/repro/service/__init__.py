@@ -20,6 +20,7 @@ argument, and the batch-boundary consistency argument.
 from .engine import ShardedEngine
 from .executor import (
     EXECUTOR_NAMES,
+    SCATTER_NAMES,
     ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
@@ -43,4 +44,5 @@ __all__ = [
     "ProcessExecutor",
     "resolve_executor",
     "EXECUTOR_NAMES",
+    "SCATTER_NAMES",
 ]

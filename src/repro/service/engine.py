@@ -90,6 +90,13 @@ class ShardedEngine:
         worker processes reading shard snapshots from shared memory — true
         multi-core scatter, see :class:`~repro.service.executor.ProcessExecutor`),
         or any object with an order-preserving ``map(fn, items)``.
+    scatter:
+        Scatter strategy for ``executor="process"``: ``"data"`` (one worker
+        per shard), ``"query"`` (query-block tiles over all workers — the
+        mode that parallelises counting) or ``"auto"`` (per-batch choice,
+        the process default).  Only valid together with
+        ``executor="process"``; pre-built executor objects configure scatter
+        at construction instead.
     batch_pool_size:
         Forwarded to each shard's tree (capacity of the paper's pooled
         insertion buffer).
@@ -141,6 +148,7 @@ class ShardedEngine:
         build_backend: str = "columnar",
         parallel_refresh: bool = False,
         kernel_backend=None,
+        scatter: Optional[str] = None,
     ) -> None:
         self._weighted = dataset.is_weighted if weighted is None else bool(weighted)
         parts = dataset.partition_indices(num_shards, policy)
@@ -150,7 +158,7 @@ class ShardedEngine:
         # backend instance (kernels are stateless — see repro.kernels).
         self._kernel_backend = resolve_backend(kernel_backend)
         self._parallel_refresh = bool(parallel_refresh)
-        self._executor, self._owns_executor = resolve_executor(executor)
+        self._executor, self._owns_executor = resolve_executor(executor, scatter=scatter)
         # Durability attachment (populated by save_snapshot / open).
         self._persist_dir: Optional[str] = None
         self._persist_epoch = 0
@@ -249,6 +257,17 @@ class ShardedEngine:
         execution tier is live.
         """
         return getattr(self._executor, "kind", type(self._executor).__name__)
+
+    @property
+    def scatter(self) -> Optional[str]:
+        """The executor's scatter strategy, or ``None`` when it has none.
+
+        ``"data"`` / ``"query"`` / ``"auto"`` for a
+        :class:`~repro.service.executor.ProcessExecutor`; ``None`` for the
+        in-process executors (the notion does not apply — they always run
+        one task per shard).  Exposed through :meth:`RequestGateway.stats`.
+        """
+        return getattr(self._executor, "scatter", None)
 
     @property
     def size(self) -> int:

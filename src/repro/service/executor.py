@@ -19,8 +19,13 @@ Three implementations ship with the library:
   shard's snapshot arrays once via ``multiprocessing.shared_memory`` and then
   receive only compact per-batch task descriptors (op name + query arrays +
   per-shard RNG seeds).  True multi-core execution for the whole per-shard
-  code path, not just the kernels.  See :mod:`repro.service.shm` for the
-  segment layout and worker protocol.
+  code path, not just the kernels.  Two scatter strategies (the ``scatter``
+  knob): partition the *data* (one worker per shard — cannot speed up
+  counting, every shard still classifies every query) or partition the
+  *query batch* (shard x query-block tiles round-robined over workers — the
+  strategy that divides the actual counting work).  See
+  :mod:`repro.service.shm` for the segment layout and worker protocol, and
+  ``docs/ARCHITECTURE.md`` for the scaling model behind the ``auto`` choice.
 
 Determinism note: the engine never shares one RNG across concurrently
 executing shard tasks — it derives one integer seed per shard up front
@@ -38,7 +43,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Optional, TypeVar
 
-from .shm import publish_shard, worker_main
+from .shm import SEED_BLOCK, merge_block_results, publish_shard, worker_main
 
 __all__ = [
     "SerialExecutor",
@@ -46,6 +51,7 @@ __all__ = [
     "ProcessExecutor",
     "resolve_executor",
     "EXECUTOR_NAMES",
+    "SCATTER_NAMES",
 ]
 
 T = TypeVar("T")
@@ -54,6 +60,18 @@ R = TypeVar("R")
 #: Executor names accepted by :func:`resolve_executor` (and therefore by the
 #: ``executor=`` argument of :class:`ShardedEngine` and the service CLIs).
 EXECUTOR_NAMES = ("serial", "threads", "process")
+
+#: Scatter strategies accepted by :class:`ProcessExecutor` (and by the
+#: ``scatter=`` argument of :class:`ShardedEngine`).
+SCATTER_NAMES = ("data", "query", "auto")
+
+#: Batch size at which ``scatter="auto"`` switches from the data scatter to
+#: the query scatter (given more than one worker).  Below this the per-tile
+#: IPC + reassembly overhead outweighs the divided classification work; at
+#: and above it, splitting the query batch wins.  See the scaling-model
+#: section of ``docs/ARCHITECTURE.md`` for the cost model this threshold
+#: falls out of.
+AUTO_QUERY_THRESHOLD = 64
 
 
 class SerialExecutor:
@@ -130,13 +148,31 @@ class ProcessExecutor:
     """Scatter per-shard query ops over long-lived worker processes.
 
     Workers are spawned lazily on the first :meth:`run_shard_op` call (one
-    per CPU core, capped at ``max_workers`` and at the shard count) with the
-    ``spawn`` start method — safe regardless of what threads the parent runs
-    (gateway dispatcher, WAL fsyncs).  Shards are assigned to workers
-    statically (``shard index mod workers``); each worker attaches a shard's
-    shared-memory segment once per published version and serves every later
-    batch from that mapping, so steady-state batches ship only task
-    descriptors.
+    per CPU core, capped at ``max_workers`` — and additionally at the shard
+    count when ``scatter="data"``, where extra workers could never be busy)
+    with the ``spawn`` start method — safe regardless of what threads the
+    parent runs (gateway dispatcher, WAL fsyncs).  Every worker attaches
+    every shard's shared-memory segment once per published version (POSIX
+    shm pages are shared, so N attachments cost one physical copy) and
+    serves every later batch from those mappings, so steady-state batches
+    ship only task descriptors.
+
+    Two scatter strategies decide what a task descriptor covers:
+
+    * ``scatter="data"`` — one task per shard, shard ``i`` always on worker
+      ``i mod workers`` (the PR 7 behaviour).  Parallel over shards only:
+      cannot speed up counting, because every shard classifies every query.
+    * ``scatter="query"`` — the query batch is cut into contiguous blocks
+      (``block_size`` queries; default one block per worker) and the
+      resulting shard x block tiles are round-robined over the workers, each
+      executing the op over a payload slice.  Results are reassembled in
+      submission order and are bit-identical to the serial executor:
+      counting/reporting tiles are independent by construction, and sampling
+      tiles are cut on the canonical :data:`repro.service.shm.SEED_BLOCK`
+      boundaries its per-(shard, block) seed schedule is defined on.
+    * ``scatter="auto"`` (default) — per batch: query when there is more
+      than one worker and the batch has at least
+      :data:`AUTO_QUERY_THRESHOLD` queries, data otherwise.
 
     For the engine's *structural* work — shard construction, delta-log
     refreshes — :meth:`map` degrades to a serial in-process loop on purpose:
@@ -146,8 +182,8 @@ class ProcessExecutor:
     A ``ProcessExecutor`` is engine-affine: share one instance across engines
     only sequentially, never concurrently.  Crashed workers are respawned
     transparently: the parent keeps every current segment and manifest, and a
-    replacement worker re-attaches before the interrupted batch is retried
-    (ops are read-only, so retries are safe).
+    replacement worker re-attaches before the interrupted batch (or tile) is
+    retried (ops are read-only, so retries are safe).
 
     Parameters
     ----------
@@ -157,14 +193,33 @@ class ProcessExecutor:
         Seconds to wait for one worker reply before declaring the batch hung
         (a deadlocked-but-alive worker); generous by default because CI
         machines stall.
+    scatter:
+        ``"data"``, ``"query"`` or ``"auto"`` (see above).
+    block_size:
+        Query-block width for the query scatter; defaults to an even split
+        of the batch across workers.  Sampling rounds it up to a multiple of
+        :data:`repro.service.shm.SEED_BLOCK` to keep draws bit-identical.
     """
 
     kind = "process"
 
-    def __init__(self, max_workers: int | None = None, op_timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        op_timeout: float = 120.0,
+        scatter: str = "auto",
+        block_size: int | None = None,
+    ) -> None:
+        if scatter not in SCATTER_NAMES:
+            names = ", ".join(repr(name) for name in SCATTER_NAMES)
+            raise ValueError(f"unknown scatter mode {scatter!r}: expected one of {names}")
+        if block_size is not None and int(block_size) < 1:
+            raise ValueError(f"block_size must be a positive integer, got {block_size!r}")
         self._ctx = multiprocessing.get_context("spawn")
         self._max_workers = max_workers
         self._op_timeout = float(op_timeout)
+        self._scatter = scatter
+        self._block_size = None if block_size is None else int(block_size)
         self._workers: list[_Worker] = []
         #: key -> (published shard version, parent-held ShardSegment).
         self._published: dict[str, tuple[int, object]] = {}
@@ -210,9 +265,19 @@ class ProcessExecutor:
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ProcessExecutor(workers={len(self._workers)})"
+        return f"ProcessExecutor(workers={len(self._workers)}, scatter={self._scatter!r})"
 
     # -- introspection / test hooks ------------------------------------- #
+    @property
+    def scatter(self) -> str:
+        """The configured scatter strategy (``data`` / ``query`` / ``auto``)."""
+        return self._scatter
+
+    @property
+    def block_size(self) -> int | None:
+        """Configured query-block width (``None`` = even split over workers)."""
+        return self._block_size
+
     @property
     def num_workers(self) -> int:
         """Live worker-process count (0 before the first scatter)."""
@@ -232,11 +297,13 @@ class ProcessExecutor:
     def run_shard_op(self, shards, op: str, payload: dict) -> list:
         """Run one named per-shard op over every shard, in shard order.
 
-        Publishes (or republishes) any shard whose snapshot version differs
-        from the last published one — the refresh/publish protocol: writes
-        fold into snapshots on the owner process at batch boundaries, and the
-        version bump is what triggers re-exporting the shared segment here.
-        Superseded segments are unlinked once their replacement is attached.
+        Publishes (or republishes) to *every* worker any shard whose snapshot
+        version differs from the last published one — the refresh/publish
+        protocol: writes fold into snapshots on the owner process at batch
+        boundaries, and the version bump is what triggers re-exporting the
+        shared segment here.  Superseded segments are unlinked once their
+        replacements are attached.  The batch is then dispatched under the
+        configured ``scatter`` strategy (``auto`` resolves per batch).
         """
         if self._closed:
             raise RuntimeError("ProcessExecutor is shut down")
@@ -245,20 +312,31 @@ class ProcessExecutor:
         width = len(self._workers)
 
         keys = [f"shard-{id(shard):x}" for shard in shards]
-        for index, (shard, key) in enumerate(zip(shards, keys)):
+        for shard, key in zip(shards, keys):
             entry = self._published.get(key)
             if entry is not None and entry[0] == shard.version:
                 continue
             segment = publish_shard(shard)
-            worker = self._workers[index % width]
-            self._request(worker, ("publish", key, segment.manifest))
-            worker.manifests[key] = segment.manifest
+            for worker in self._workers:
+                self._request(worker, ("publish", key, segment.manifest))
+                worker.manifests[key] = segment.manifest
             if entry is not None:
                 entry[1].unlink()
             self._published[key] = (shard.version, segment)
 
+        nq = len(payload["ql"])
+        mode = self._scatter
+        if mode == "auto":
+            mode = "query" if (width > 1 and nq >= AUTO_QUERY_THRESHOLD) else "data"
+        if mode == "query" and nq > 0:
+            return self._run_query_scatter(keys, op, payload, nq)
+        return self._run_data_scatter(keys, op, payload)
+
+    def _run_data_scatter(self, keys: list, op: str, payload: dict) -> list:
+        """One task per shard, shard ``i`` on worker ``i mod width``."""
+        width = len(self._workers)
         per_worker: list[list[int]] = [[] for _ in range(width)]
-        for index in range(len(shards)):
+        for index in range(len(keys)):
             per_worker[index % width].append(index)
         busy = [w for w in range(width) if per_worker[w]]
         for w in busy:
@@ -266,7 +344,7 @@ class ProcessExecutor:
                 self._workers[w], ("op", op, payload, [keys[i] for i in per_worker[w]])
             )
 
-        results: list = [None] * len(shards)
+        results: list = [None] * len(keys)
         for w in busy:
             worker = self._workers[w]
             replay = ("op", op, payload, [keys[i] for i in per_worker[w]])
@@ -275,12 +353,56 @@ class ProcessExecutor:
                 results[index] = row
         return results
 
+    def _run_query_scatter(self, keys: list, op: str, payload: dict, nq: int) -> list:
+        """Shard x query-block tiles, round-robined over the workers.
+
+        The block width defaults to an even split of the batch across
+        workers; sampling rounds it up to the canonical ``SEED_BLOCK``
+        multiple so every seed-block lands whole inside one tile (the
+        bit-identity requirement of the blocked draw schedule).  Per-shard
+        tile results are reassembled in ascending tile order, which restores
+        exactly the whole-batch result.
+        """
+        width = len(self._workers)
+        block = self._block_size or -(-nq // width)
+        if op == "sample":
+            block = -(-block // SEED_BLOCK) * SEED_BLOCK
+        tiles = [
+            (shard_index, start, min(start + block, nq))
+            for shard_index in range(len(keys))
+            for start in range(0, nq, block)
+        ]
+        per_worker: list[list[tuple]] = [[] for _ in range(width)]
+        for position, tile in enumerate(tiles):
+            per_worker[position % width].append(tile)
+        busy = [w for w in range(width) if per_worker[w]]
+        for w in busy:
+            specs = [(keys[k], start, stop) for k, start, stop in per_worker[w]]
+            self._send(self._workers[w], ("op", op, payload, specs))
+
+        parts: list[list] = [[] for _ in keys]
+        for w in busy:
+            worker = self._workers[w]
+            specs = [(keys[k], start, stop) for k, start, stop in per_worker[w]]
+            replay = ("op", op, payload, specs)
+            rows = self._await(worker, resend=replay)
+            for (k, start, _stop), result in zip(per_worker[w], rows):
+                parts[k].append((start, result))
+        return [
+            merge_block_results(op, sorted(shard_parts, key=lambda pair: pair[0]))
+            for shard_parts in parts
+        ]
+
     # -- internals ------------------------------------------------------- #
     def _ensure_workers(self, num_shards: int) -> None:
         if self._workers:
             return
         width = self._max_workers or os.cpu_count() or 1
-        width = max(1, min(int(width), int(num_shards) or 1))
+        width = max(1, int(width))
+        if self._scatter == "data":
+            # Extra workers could never be busy under the data scatter; under
+            # query/auto the query blocks keep them all fed regardless of K.
+            width = min(width, int(num_shards) or 1)
         for _ in range(width):
             self._workers.append(self._spawn())
 
@@ -359,7 +481,7 @@ class ProcessExecutor:
             return value
 
 
-def resolve_executor(executor) -> tuple[object, bool]:
+def resolve_executor(executor, scatter: str | None = None) -> tuple[object, bool]:
     """Coerce the ``executor`` argument of :class:`ShardedEngine`.
 
     Accepts ``None`` / ``"serial"`` (a :class:`SerialExecutor`),
@@ -369,13 +491,25 @@ def resolve_executor(executor) -> tuple[object, bool]:
     the engine whether it created the executor and is therefore responsible
     for shutting it down.  Unknown names raise :class:`ValueError`; objects
     without a ``map`` method raise :class:`TypeError`.
+
+    ``scatter`` configures the process executor's scatter strategy and is
+    only meaningful with ``executor="process"`` — pre-built executor objects
+    carry their own configuration, and the in-process executors have no
+    scatter choice to make — so any other combination raises
+    :class:`ValueError`.
     """
+    if scatter is not None and executor != "process":
+        raise ValueError(
+            f"scatter={scatter!r} requires executor='process' "
+            f"(got executor={executor!r}); pre-built executors configure "
+            "scatter at construction"
+        )
     if executor is None or executor == "serial":
         return SerialExecutor(), True
     if executor == "threads":
         return ThreadedExecutor(), True
     if executor == "process":
-        return ProcessExecutor(), True
+        return ProcessExecutor(scatter=scatter or "auto"), True
     if isinstance(executor, str):
         names = ", ".join(repr(name) for name in EXECUTOR_NAMES)
         raise ValueError(f"unknown executor name {executor!r}: expected one of {names}")

@@ -195,7 +195,8 @@ class RequestGateway:
         Besides the request/batch counters the snapshot reports an
         ``"engine"`` section describing the serving stack behind the
         gateway — most usefully which execution tier is live
-        (``executor: "serial" | "threads" | "process"``).
+        (``executor: "serial" | "threads" | "process"``, plus the process
+        executor's ``scatter`` strategy, ``None`` for in-process executors).
         """
         out = self._metrics.snapshot()
         engine = self._engine
@@ -203,6 +204,7 @@ class RequestGateway:
             "executor": getattr(engine, "executor_kind", type(engine).__name__),
             "num_shards": getattr(engine, "num_shards", 1),
             "kernel_backend": getattr(engine, "kernel_backend", "numpy"),
+            "scatter": getattr(engine, "scatter", None),
         }
         return out
 

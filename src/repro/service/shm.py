@@ -26,6 +26,19 @@ sides of that bridge:
 The op payloads are compact per-batch task descriptors — query endpoint
 arrays, per-shard draw allocations, per-shard RNG *seeds* (plain ints, see
 :func:`repro.sampling.rng.spawn_seeds`) — never engines or closures.
+
+Query-parallel tiles.  An ``op`` message addresses work as *specs*: either a
+bare segment key (the whole query batch — the data-parallel scatter) or a
+``(key, start, stop)`` tile (a contiguous query block — the query-parallel
+scatter, see ``ProcessExecutor(scatter=...)``).  :func:`slice_payload` cuts a
+tile's payload out of the batch payload, and :func:`merge_block_results`
+reassembles per-tile results into the exact value the whole-batch op would
+have returned.  Sampling stays bit-identical under any tiling because
+:func:`_op_sample` never draws from one batch-wide stream: every canonical
+:data:`SEED_BLOCK`-query block derives its own generator from the shard seed
+(``SeedSequence(seed, spawn_key=(block,))``), so a block's draws depend only
+on that block's queries — executors merely have to cut tiles on
+:data:`SEED_BLOCK` boundaries.
 """
 
 from __future__ import annotations
@@ -42,14 +55,26 @@ from ..core.flat import FlatAIT
 __all__ = [
     "ShardView",
     "run_shard_op",
+    "slice_payload",
+    "merge_block_results",
     "publish_shard",
     "attach_segment",
     "worker_main",
     "SHARD_OPS",
+    "SEED_BLOCK",
 ]
 
 _ID = np.int64
 _F8 = np.float64
+
+#: Canonical sampling seed-block width, in queries.  ``_op_sample`` derives
+#: one child generator per (shard, block of SEED_BLOCK consecutive batch
+#: positions) instead of one stream per shard, so the draws for a block are a
+#: pure function of that block's queries.  Any query tiling whose cuts land
+#: on multiples of SEED_BLOCK therefore reproduces the whole-batch draws bit
+#: for bit.  Changing this value changes which i.i.d. sample a given seed
+#: yields (still exactly i.i.d. — just a different, equally valid draw).
+SEED_BLOCK = 16
 
 #: Segment alignment for array starts — one cache line, and a multiple of
 #: every dtype itemsize in the schema.
@@ -113,35 +138,58 @@ def _op_report(view: ShardView, payload: dict) -> list[np.ndarray]:
     ]
 
 
+def _block_rng(seed, block_id: int) -> np.random.Generator:
+    """The canonical generator for one (shard seed, seed-block) pair.
+
+    ``SeedSequence(seed, spawn_key=(block,))`` is exactly the stream the
+    ``block``-th spawned child of ``SeedSequence(seed)`` would get — derived
+    directly so block ``b`` costs O(1) instead of spawning ``b`` children.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(int(seed), spawn_key=(int(block_id),))
+    )
+
+
 def _op_sample(view: ShardView, payload: dict):
     """Stage 2 of the engine's two-stage sampler, for one shard.
 
     ``payload`` carries the *live* query endpoints, the stage-1 multinomial
-    allocation matrix ``alloc`` (queries x shards) and one integer RNG seed
-    per shard; this shard reads its own column and seed.  Queries are
-    bucketed by the power-of-two ceiling of their allocation — the flat
-    engine draws one fixed sample count per batch, so each bucket draws its
-    own max (over-draw bounded at 2x) instead of every query drawing the
-    shard-wide max.  Returns ``(selected, counts, rows)`` with rows already
-    mapped to global ids.
+    allocation matrix ``alloc`` (queries x shards), one integer RNG seed per
+    shard, and optionally ``offset`` — the batch-global position of this
+    payload's first query (0 for a whole batch; the tile start under the
+    query-parallel scatter).  This shard reads its own column and seed.
+
+    The draw schedule is *seed-blocked*: queries are grouped by their
+    canonical :data:`SEED_BLOCK`-wide batch-position block, and every block
+    draws from its own generator (:func:`_block_rng`).  Within a block,
+    queries are bucketed by the power-of-two ceiling of their allocation —
+    the flat engine draws one fixed sample count per batch call, so each
+    bucket draws its own max (over-draw bounded at 2x) instead of every
+    query drawing the shard-wide max.  Returns ``(selected, counts, rows)``
+    with rows already mapped to global ids.
     """
     counts = payload["alloc"][:, view.shard_id]
     selected = np.flatnonzero(counts > 0)
     if selected.shape[0] == 0:
         return selected, counts, []
     ql, qr = payload["ql"], payload["qr"]
-    rng = np.random.default_rng(payload["seeds"][view.shard_id])
+    offset = int(payload.get("offset", 0))
+    seed = payload["seeds"][view.shard_id]
     caps = counts[selected]
     levels = np.ceil(np.log2(caps)).astype(_ID)
+    blocks = (offset + selected) // SEED_BLOCK
     empty = np.empty(0, dtype=_ID)
     rows: list[np.ndarray] = [empty] * selected.shape[0]
-    for level in np.unique(levels):
-        members = np.flatnonzero(levels == level)
-        bucket = selected[members]
-        cap = int(caps[members].max())
-        drawn = view.snapshot._sample_many(ql[bucket], qr[bucket], cap, rng)
-        for position, row in zip(members, drawn):
-            rows[int(position)] = view.to_global(row)
+    for block_id in np.unique(blocks):
+        rng = _block_rng(seed, block_id)
+        in_block = np.flatnonzero(blocks == block_id)
+        for level in np.unique(levels[in_block]):
+            members = in_block[levels[in_block] == level]
+            bucket = selected[members]
+            cap = int(caps[members].max())
+            drawn = view.snapshot._sample_many(ql[bucket], qr[bucket], cap, rng)
+            for position, row in zip(members, drawn):
+                rows[int(position)] = view.to_global(row)
     return selected, counts, rows
 
 
@@ -159,6 +207,54 @@ SHARD_OPS = {
 def run_shard_op(op: str, view: ShardView, payload: dict):
     """Execute one named per-shard op over a view (any executor, any process)."""
     return SHARD_OPS[op](view, payload)
+
+
+# ---------------------------------------------------------------------- #
+# query-parallel tiling: payload slicing + result reassembly
+# ---------------------------------------------------------------------- #
+def slice_payload(op: str, payload: dict, start: int, stop: int) -> dict:
+    """Cut the payload for queries ``[start, stop)`` out of a batch payload.
+
+    ``ql``/``qr`` are sliced for every op; ``sample`` additionally slices the
+    allocation rows, keeps the per-shard seed list whole (the seed schedule
+    is shard-wide), and advances ``offset`` so :func:`_op_sample` still sees
+    batch-global positions for its seed-block ids.  Slices are views, not
+    copies — a tile ships no more bytes than its own queries.
+    """
+    sliced = {"ql": payload["ql"][start:stop], "qr": payload["qr"][start:stop]}
+    if op == "sample":
+        sliced["alloc"] = payload["alloc"][start:stop]
+        sliced["seeds"] = payload["seeds"]
+        sliced["offset"] = int(payload.get("offset", 0)) + int(start)
+    return sliced
+
+
+def merge_block_results(op: str, parts: list):
+    """Reassemble per-tile op results into the whole-batch result.
+
+    ``parts`` is a non-empty list of ``(start, result)`` pairs whose tiles
+    partition ``[0, nq)``, sorted by ``start``.  The merged value is exactly
+    (bit for bit) what the op would have returned over the whole batch:
+    count/total_weight concatenate their per-query vectors, report
+    concatenates its per-query row lists, and sample re-bases each tile's
+    ``selected`` positions by the tile start and concatenates the per-query
+    count columns and row lists.
+    """
+    if op == "report":
+        rows: list[np.ndarray] = []
+        for _, part in parts:
+            rows.extend(part)
+        return rows
+    if op == "sample":
+        selected = np.concatenate(
+            [part[0] + int(start) for start, part in parts]
+        )
+        counts = np.concatenate([part[1] for _, part in parts])
+        rows = []
+        for _, part in parts:
+            rows.extend(part[2])
+        return selected, counts, rows
+    return np.concatenate([part for _, part in parts])
 
 
 # ---------------------------------------------------------------------- #
@@ -323,8 +419,10 @@ def worker_main(tasks, results) -> None:
     * ``("publish", key, manifest)`` — attach the segment and serve ``key``
       from it, replacing (and closing) any previous version; reply
       ``("ok", None)``.
-    * ``("op", op, payload, keys)`` — run the named op for every ``key`` in
-      order; reply ``("ok", [result, ...])``.
+    * ``("op", op, payload, specs)`` — run the named op for every spec in
+      order; reply ``("ok", [result, ...])``.  A spec is either a bare
+      segment ``key`` (whole batch) or a ``(key, start, stop)`` query tile
+      executed over :func:`slice_payload`.
     * ``("stop",)`` — release every mapping and exit (no reply).
 
     Any exception is caught and reported as ``("error", traceback_text)`` —
@@ -346,10 +444,19 @@ def worker_main(tasks, results) -> None:
                         _release_view(old)
                     results.put(("ok", None))
                 elif kind == "op":
-                    _, op, payload, keys = message
-                    results.put(
-                        ("ok", [run_shard_op(op, views[key], payload) for key in keys])
-                    )
+                    _, op, payload, specs = message
+                    out = []
+                    for spec in specs:
+                        if isinstance(spec, str):
+                            out.append(run_shard_op(op, views[spec], payload))
+                        else:
+                            key, start, stop = spec
+                            out.append(
+                                run_shard_op(
+                                    op, views[key], slice_payload(op, payload, start, stop)
+                                )
+                            )
+                    results.put(("ok", out))
                 else:
                     results.put(("error", f"unknown worker message kind {kind!r}"))
             except BaseException as exc:

@@ -1,13 +1,20 @@
 """The documentation subsystem must not rot.
 
-Three enforcement layers, shared with ``scripts/check_docs.py`` (the CI /
+Enforcement layers, shared with ``scripts/check_docs.py`` (the CI /
 standalone entry point):
 
 * every ``>>>`` docstring example in the public API modules runs under
   :mod:`doctest` and must reproduce its output;
 * every relative markdown link in ``README.md`` and ``docs/*.md`` must
   resolve to an existing file;
-* every fenced ```python`` snippet in those files must execute cleanly.
+* every fenced ```python`` snippet in those files must execute cleanly;
+* every knob row in ``docs/TUNING.md`` must resolve against the live
+  signatures / value registries;
+* the experiments index block in ``docs/REPRODUCING.md`` must equal the
+  registry rendering;
+* the constructor signatures ``docs/API.md`` spells out must match the
+  live ``inspect.signature`` rendering (parameter names, order, and
+  defaults).
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ _spec.loader.exec_module(check_docs)
 
 
 def test_docs_directory_is_complete():
-    for required in ("ARCHITECTURE.md", "API.md", "REPRODUCING.md"):
+    for required in ("ARCHITECTURE.md", "API.md", "REPRODUCING.md", "TUNING.md"):
         assert (REPO_ROOT / "docs" / required).exists(), f"docs/{required} is missing"
 
 
@@ -77,7 +84,69 @@ def test_markdown_python_snippets_execute(doc):
     assert not failures, failures
 
 
+def test_tuning_knobs_resolve():
+    """Every knob named in docs/TUNING.md must exist in the live code."""
+    with redirect_stdout(io.StringIO()):
+        failures = check_docs.check_knobs()
+    assert not failures, failures
+
+
+def test_tuning_knob_check_catches_a_renamed_knob():
+    """The knob gate must actually reject rows naming nonexistent knobs."""
+    assert "num_shards" in check_docs._resolvable_knobs()
+    assert "definitely_not_a_knob" not in check_docs._resolvable_knobs()
+    match = check_docs._KNOB_ROW.match("| `block_size` (queries per tile) | ... |")
+    assert match is not None and match.group(1) == "block_size"
+
+
+def test_experiments_index_in_sync():
+    """The REPRODUCING.md index block must equal the registry rendering."""
+    with redirect_stdout(io.StringIO()):
+        failures = check_docs.check_experiments_index()
+    assert not failures, failures
+
+
+def _render_signature(name: str, target) -> str:
+    """``name(param, key=default, ...)`` exactly as inspect sees the callable."""
+    import inspect
+
+    rendered = []
+    for param in inspect.signature(target).parameters.values():
+        if param.name == "self":
+            continue
+        if param.default is inspect.Parameter.empty:
+            rendered.append(param.name)
+        else:
+            rendered.append(f"{param.name}={param.default!r}")
+    return f"{name}({', '.join(rendered)})"
+
+
+def test_api_md_signatures_match_code():
+    """docs/API.md's spelled-out call signatures must not drift from the code.
+
+    The comparison normalises whitespace (API.md wraps long signatures) and
+    quote style (API.md uses double quotes, ``repr`` single quotes); names,
+    order, and default values must match verbatim.
+    """
+    from repro.service import ProcessExecutor, RequestGateway, ShardedEngine
+
+    text = " ".join((REPO_ROOT / "docs" / "API.md").read_text().split())
+    text = text.replace('"', "'")
+    for name, target in (
+        ("ShardedEngine", ShardedEngine.__init__),
+        ("ShardedEngine.open", ShardedEngine.open),
+        ("save_snapshot", ShardedEngine.save_snapshot),
+        ("ProcessExecutor", ProcessExecutor.__init__),
+        ("RequestGateway", RequestGateway.__init__),
+    ):
+        expected = _render_signature(name, target)
+        assert expected in text, (
+            f"docs/API.md does not spell the current signature of {name}; "
+            f"expected to find (modulo wrapping/quotes): {expected}"
+        )
+
+
 def test_check_docs_cli_runs_clean():
     """The standalone gate itself must exit 0 on the committed tree."""
     with redirect_stdout(io.StringIO()):
-        assert check_docs.main(["links"]) == 0
+        assert check_docs.main(["links", "knobs", "experiments"]) == 0

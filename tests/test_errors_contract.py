@@ -273,6 +273,32 @@ class TestExecutorResolution:
         with pytest.raises(ValueError, match=r"unknown executor name 'procces'"):
             ShardedEngine(_dataset(), num_shards=2, executor="procces")
 
+    @pytest.mark.parametrize("mode", ["queries", "shard", ""])
+    def test_unknown_scatter_mode_raises_value_error(self, mode):
+        from repro.service import ProcessExecutor
+
+        with pytest.raises(
+            ValueError,
+            match=r"unknown scatter mode .*: expected one of 'data', 'query', 'auto'",
+        ):
+            ProcessExecutor(scatter=mode)
+
+    @pytest.mark.parametrize("block_size", [0, -3])
+    def test_non_positive_block_size_raises_value_error(self, block_size):
+        from repro.service import ProcessExecutor
+
+        with pytest.raises(ValueError, match=r"block_size must be a positive integer"):
+            ProcessExecutor(scatter="query", block_size=block_size)
+
+    @pytest.mark.parametrize("executor", [None, "serial", "threads"])
+    def test_scatter_requires_process_executor(self, executor):
+        with pytest.raises(ValueError, match=r"scatter='query' requires executor='process'"):
+            resolve_executor(executor, scatter="query")
+
+    def test_engine_surfaces_scatter_without_process(self):
+        with pytest.raises(ValueError, match=r"scatter='data' requires executor='process'"):
+            ShardedEngine(_dataset(), num_shards=2, executor="threads", scatter="data")
+
 
 # --------------------------------------------------------------------------- #
 # kernel backend resolution

@@ -158,6 +158,114 @@ def test_executors_bit_identical_after_updates(dataset, queries, num_shards):
             _close(engine)
 
 
+@pytest.mark.parametrize("num_shards", (1, 2, 4))
+@pytest.mark.parametrize("block_size", (1, 7, None))
+def test_query_scatter_bit_identical(dataset, queries, num_shards, block_size):
+    """The query-parallel scatter matches serial for every tiling of the batch.
+
+    ``block_size=None`` is the even-split default; 1 and 7 force tile cuts at
+    every position and at deliberately seed-block-misaligned strides (the
+    executor must round sampling tiles up to SEED_BLOCK multiples itself).
+    """
+    serial = _make_engine(dataset, num_shards, "serial")
+    try:
+        expected = _read_all(serial, queries, seed=511)
+    finally:
+        _close(serial)
+    executor = ProcessExecutor(max_workers=2, scatter="query", block_size=block_size)
+    engine = ShardedEngine(dataset, num_shards=num_shards, executor=executor)
+    try:
+        assert engine.scatter == "query"
+        _assert_identical(_read_all(engine, queries, seed=511), expected)
+    finally:
+        _close(engine)
+
+
+def test_query_scatter_bit_identical_weighted(weighted, make_queries):
+    """Weighted sampling under query tiling: draws still match serial exactly."""
+    batch = make_queries(weighted, count=33, extent=0.1, seed=12)
+    serial = _make_engine(weighted, 4, "serial")
+    try:
+        expected = _read_all(serial, batch, seed=88)
+    finally:
+        _close(serial)
+    executor = ProcessExecutor(max_workers=2, scatter="query", block_size=7)
+    engine = ShardedEngine(weighted, num_shards=4, executor=executor)
+    try:
+        _assert_identical(_read_all(engine, batch, seed=88), expected)
+    finally:
+        _close(engine)
+
+
+def test_query_scatter_bit_identical_after_updates(dataset, queries):
+    """Version bumps republish to every worker; query tiles stay identical."""
+    executor = ProcessExecutor(max_workers=2, scatter="query", block_size=7)
+    serial = _make_engine(dataset, 2, "serial")
+    engine = ShardedEngine(dataset, num_shards=2, executor=executor)
+    try:
+        for round_seed in (404, 505):
+            trial = np.random.default_rng(round_seed)
+            lo, hi = dataset.domain()
+            lefts = trial.uniform(lo, hi, 12)
+            rights = lefts + trial.exponential((hi - lo) / 40.0, 12)
+            victims = trial.integers(0, len(dataset), 5)
+            for eng in (serial, engine):
+                eng.insert_many(lefts, rights)
+                eng.delete_many(victims)
+                eng.refresh()
+            expected = _read_all(serial, queries, seed=round_seed)
+            _assert_identical(_read_all(engine, queries, seed=round_seed), expected)
+    finally:
+        _close(serial)
+        _close(engine)
+
+
+def test_query_scatter_survives_worker_death_mid_block_schedule(dataset, queries):
+    """A worker dies holding half the tiles; respawn replays and re-answers.
+
+    With ``block_size=1`` every query is its own tile, so the killed worker
+    owned tiles interleaved through the whole batch — the respawn must replay
+    every segment manifest (each worker serves all shards under the query
+    scatter) and the reassembly must still restore submission order.
+    """
+    executor = ProcessExecutor(max_workers=2, scatter="query", block_size=1)
+    engine = ShardedEngine(dataset, num_shards=4, executor=executor)
+    try:
+        expected = engine.count_many(queries)
+        draws = engine.sample_many(queries, 16, random_state=np.random.default_rng(3))
+        before = executor.worker_pids()
+        executor.kill_worker(0)
+        assert np.array_equal(engine.count_many(queries), expected)
+        again = engine.sample_many(queries, 16, random_state=np.random.default_rng(3))
+        for row, exp_row in zip(again, draws):
+            assert np.array_equal(row, exp_row)
+        after = executor.worker_pids()
+        assert after[0] != before[0]       # a fresh process took slot 0
+        assert after[1:] == before[1:]     # the survivor kept serving
+    finally:
+        engine.close()
+        executor.shutdown()
+
+
+def test_auto_scatter_matches_serial_on_both_sides_of_threshold(dataset, make_queries):
+    """``scatter="auto"`` flips strategy on batch size; both regimes match serial."""
+    from repro.service.executor import AUTO_QUERY_THRESHOLD
+
+    small = make_queries(dataset, count=AUTO_QUERY_THRESHOLD - 1, extent=0.05, seed=21)
+    large = make_queries(dataset, count=AUTO_QUERY_THRESHOLD + 9, extent=0.05, seed=22)
+    serial = _make_engine(dataset, 2, "serial")
+    executor = ProcessExecutor(max_workers=2, scatter="auto")
+    engine = ShardedEngine(dataset, num_shards=2, executor=executor)
+    try:
+        assert engine.scatter == "auto"
+        for batch in (small, large):
+            expected = _read_all(serial, batch, seed=61)
+            _assert_identical(_read_all(engine, batch, seed=61), expected)
+    finally:
+        _close(serial)
+        _close(engine)
+
+
 def test_process_executor_survives_worker_death(dataset, queries):
     """A killed worker respawns, replays its segment manifests and re-answers."""
     executor = ProcessExecutor(max_workers=2)

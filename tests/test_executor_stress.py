@@ -153,6 +153,60 @@ class TestConcurrentGateway:
         assert set(kept) <= set(int(g) for g in surviving)
 
 
+class TestQueryScatterGateway:
+    """The concurrency invariants hold under the query-parallel scatter too.
+
+    ``block_size=7`` forces multi-tile batches whose tiles interleave across
+    both workers while writers bump snapshot versions concurrently — the
+    republish-to-all-workers protocol must keep every tile on a
+    batch-boundary snapshot.
+    """
+
+    def test_churn_under_query_scatter_settles_exact(self, dataset):
+        base = len(dataset)
+        executor = ProcessExecutor(max_workers=2, scatter="query", block_size=7)
+        engine = ShardedEngine(dataset, num_shards=4, executor=executor)
+        kept: list[int] = []
+        lock = threading.Lock()
+        try:
+            with RequestGateway(engine, max_wait_ms=1.0) as gateway:
+
+                def churner(slot: int):
+                    rng = np.random.default_rng(3000 + slot)
+                    for round_index in range(6):
+                        left = float(rng.uniform(0.0, 900.0))
+                        gid = gateway.insert((left, left + 2.0), timeout=60)
+                        if round_index % 2 == 0:
+                            assert gateway.delete(gid, timeout=60) is True
+                        else:
+                            with lock:
+                                kept.append(gid)
+
+                def reader(slot: int):
+                    for _ in range(8):
+                        count = gateway.count(DOMAIN, timeout=60)
+                        assert base - 1 <= count <= base + 4 * 6
+                        sampled = gateway.sample(DOMAIN, 8, timeout=60)
+                        assert sampled.shape == (8,)
+
+                _run_threads(
+                    [lambda s=i: churner(s) for i in range(4)]
+                    + [lambda s=i: reader(s) for i in range(2)]
+                )
+                final = gateway.count(DOMAIN, timeout=60)
+                surviving = gateway.report(DOMAIN, timeout=60)
+                stats = gateway.stats()
+        finally:
+            engine.close()
+            executor.shutdown()
+
+        assert final == base + len(kept)
+        assert set(kept) <= set(int(g) for g in surviving)
+        assert stats["engine"]["executor"] == "process"
+        assert stats["engine"]["scatter"] == "query"
+        assert stats["errors"] == {}
+
+
 class TestCheckpointKillRecover:
     def test_no_acknowledged_write_lost(self, tmp_path, dataset):
         directory = str(tmp_path / "stress")
