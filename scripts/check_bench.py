@@ -37,6 +37,12 @@ measure a *design property* rather than the hardware:
   process-vs-serial throughput ratios per (operation, scatter) — parallel
   speedup is a property of the runner's core count, recorded in
   ``config.cpu_count``;
+* ``BENCH_serving.json``    — the hard invariants that every request shed by
+  the HTTP front end's admission controller receives an explicit 429-class
+  response (never a hang or a reset) and that a graceful drain under fire —
+  concurrent writers plus a SIGKILLed shard worker — loses no acknowledged
+  write and refuses post-close traffic, plus the advisory shed rate past
+  saturation;
 * ``BENCH_kernels.json``    — the hard invariant that every kernel backend's
   answers are bit-identical to the numpy reference backend's, plus advisory
   per-backend throughput ratios (JIT speedup is a property of the runner —
@@ -154,6 +160,30 @@ SCHEMAS: dict[str, dict] = {
                 "vs_numpy",
                 "counts_bit_identical",
                 "samples_bit_identical",
+            },
+        },
+    },
+    "BENCH_serving.json": {
+        "top": {"config", "results"},
+        "rows": {
+            "load": {
+                "n",
+                "multiplier",
+                "offered_rps",
+                "sent",
+                "ok",
+                "shed",
+                "shed_rate",
+                "p50_ms",
+                "p99_ms",
+                "all_shed_429",
+            },
+            "drain": {
+                "n",
+                "writes_acked",
+                "worker_killed",
+                "no_acked_loss",
+                "post_close_rejected",
             },
         },
     },
@@ -284,6 +314,34 @@ def _gateway_indicators(payload: dict) -> dict[str, float]:
     return out
 
 
+def _serving_indicators(payload: dict) -> dict[str, float]:
+    out = {
+        # Hard invariants rather than ratios.  Overload must surface as
+        # explicit 429-class responses on every shed request (never a hang
+        # or a reset), and a graceful drain under fire — including a
+        # SIGKILLed shard worker — must keep every acknowledged write and
+        # refuse post-close traffic.  1.0 or bust.
+        "serving_shed_429": 1.0
+        if all(bool(row["all_shed_429"]) for row in payload["results"]["load"])
+        else 0.0,
+        "serving_drain_no_loss": 1.0
+        if all(
+            bool(row["no_acked_loss"]) and bool(row["post_close_rejected"])
+            for row in payload["results"]["drain"]
+        )
+        else 0.0,
+    }
+    # Advisory (wide-tolerance compare): the admission controller must
+    # actually shed past saturation.  The exact rate depends on how far the
+    # open-loop sweep lands past this runner's capacity, so it gates only
+    # against an order-of-magnitude collapse (e.g. shedding silently
+    # disabled while the offered load still exceeds capacity).
+    out["serving_shed_rate"] = max(
+        float(row["shed_rate"]) for row in payload["results"]["load"]
+    )
+    return out
+
+
 def _recovery_indicators(payload: dict) -> dict[str, float]:
     out = {
         "cold_start_speedup": max(
@@ -356,6 +414,7 @@ INDICATORS = {
     "BENCH_service.json": _service_indicators,
     "BENCH_updates.json": _updates_indicators,
     "BENCH_gateway.json": _gateway_indicators,
+    "BENCH_serving.json": _serving_indicators,
     "BENCH_build.json": _build_indicators,
     "BENCH_recovery.json": _recovery_indicators,
 }

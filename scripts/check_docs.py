@@ -67,6 +67,8 @@ DOCTEST_MODULES: tuple[str, ...] = (
     "repro.service.executor",
     "repro.service.gateway",
     "repro.service.metrics",
+    "repro.service.admission",
+    "repro.service.server",
     "repro.persist.faults",
 )
 
@@ -161,8 +163,12 @@ def _resolvable_knobs() -> set[str]:
     from repro.service import (
         EXECUTOR_NAMES,
         SCATTER_NAMES,
+        AdmissionController,
+        CircuitBreaker,
+        HttpFrontend,
         ProcessExecutor,
         RequestGateway,
+        RetryPolicy,
         ShardedEngine,
         ThreadedExecutor,
     )
@@ -175,6 +181,10 @@ def _resolvable_knobs() -> set[str]:
         ProcessExecutor.__init__,
         ThreadedExecutor.__init__,
         RequestGateway.__init__,
+        HttpFrontend.__init__,
+        AdmissionController.__init__,
+        CircuitBreaker.__init__,
+        RetryPolicy.__init__,
     ):
         names.update(inspect.signature(target).parameters)
     names.discard("self")

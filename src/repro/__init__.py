@@ -26,6 +26,7 @@ from .core import (
     EmptyResultError,
     FlatAIT,
     GatewayClosedError,
+    GatewayOverloadError,
     Interval,
     IntervalDataset,
     IntervalIndex,
@@ -41,12 +42,13 @@ from .core import (
     StructureStateError,
     UnsupportedOperationError,
     WALCorruptError,
+    WorkerTimeoutError,
 )
 from .persist import DeltaLog
 from .sampling import AliasTable, CumulativeSampler
 from .service import RequestGateway, ShardedEngine
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AIT",
@@ -74,6 +76,8 @@ __all__ = [
     "StructureStateError",
     "UnsupportedOperationError",
     "GatewayClosedError",
+    "GatewayOverloadError",
+    "WorkerTimeoutError",
     "PersistenceError",
     "SnapshotCorruptError",
     "WALCorruptError",

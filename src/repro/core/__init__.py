@@ -10,6 +10,7 @@ from .errors import (
     EmptyDatasetError,
     EmptyResultError,
     GatewayClosedError,
+    GatewayOverloadError,
     InvalidIntervalError,
     InvalidQueryError,
     InvalidWeightError,
@@ -19,6 +20,7 @@ from .errors import (
     StructureStateError,
     UnsupportedOperationError,
     WALCorruptError,
+    WorkerTimeoutError,
 )
 from .interval import Interval
 from .node import AITNode
@@ -49,6 +51,8 @@ __all__ = [
     "StructureStateError",
     "UnsupportedOperationError",
     "GatewayClosedError",
+    "GatewayOverloadError",
+    "WorkerTimeoutError",
     "PersistenceError",
     "SnapshotCorruptError",
     "WALCorruptError",

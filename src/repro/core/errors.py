@@ -17,6 +17,8 @@ __all__ = [
     "StructureStateError",
     "UnsupportedOperationError",
     "GatewayClosedError",
+    "GatewayOverloadError",
+    "WorkerTimeoutError",
     "PersistenceError",
     "SnapshotCorruptError",
     "WALCorruptError",
@@ -60,6 +62,30 @@ class GatewayClosedError(StructureStateError):
 
     Subclasses :class:`StructureStateError` (and therefore ``RuntimeError``),
     so pre-existing ``except RuntimeError`` handlers keep working.
+    """
+
+
+class GatewayOverloadError(StructureStateError):
+    """A request was shed at submit time because the gateway queue is full.
+
+    Raised by :meth:`RequestGateway.submit` when the intake queue already
+    holds ``max_queue_depth`` requests — the bounded-intake contract that
+    keeps a traffic spike from growing memory without bound.  Shedding is
+    deliberate and *fast*: the request never enters the queue, so the
+    caller can retry with backoff (the HTTP front end translates this into
+    a 429 with ``Retry-After``).  Subclasses :class:`StructureStateError`
+    (and therefore ``RuntimeError``).
+    """
+
+
+class WorkerTimeoutError(ReproError, TimeoutError):
+    """A process-executor worker failed to answer within ``op_timeout`` seconds.
+
+    Raised by :class:`~repro.service.executor.ProcessExecutor` when a
+    dispatched shard op times out; the executor declares the worker dead,
+    respawns it, and replays in-flight work before raising.  Subclasses the
+    builtin :class:`TimeoutError`, so pre-existing ``except TimeoutError``
+    handlers keep working.
     """
 
 

@@ -14,6 +14,7 @@ from . import (
     exp_parallel_scaling,
     exp_recovery,
     exp_service_throughput,
+    exp_serving_slo,
     exp_throughput,
     exp_update_throughput,
     exp_fig5_scaling,
@@ -100,6 +101,11 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
         "kernel_throughput",
         "FlatAIT kernel backends vs the NumPy reference (bit-identity gated)",
         exp_kernel_throughput.run,
+    ),
+    "serving_slo": ExperimentEntry(
+        "serving_slo",
+        "Serving SLO: shed rate and p99 under open-loop overload, drain safety",
+        exp_serving_slo.run,
     ),
 }
 

@@ -9,7 +9,11 @@ per-shard delta logs with versioned snapshot refresh; a
 :class:`RequestGateway` that transparently coalesces concurrent single-query
 traffic into the engine's batch API under a tunable micro-batching window;
 and :class:`GatewayMetrics` telemetry (counters, batch-size histogram,
-latency percentiles).  Scatter-gather execution is pluggable
+latency percentiles).  On top of the gateway sits the wire tier: an
+:class:`HttpFrontend` (:mod:`repro.service.server`) serving JSON-over-HTTP
+with admission control, per-request deadlines, worker-failure retries, a
+:class:`CircuitBreaker` guarding a degraded read-only mode, and graceful
+drain (:mod:`repro.service.admission`).  Scatter-gather execution is pluggable
 (:class:`SerialExecutor` / :class:`ThreadedExecutor` /
 :class:`ProcessExecutor` — the latter fans shard ops out to long-lived
 worker processes over shared-memory snapshots, see :mod:`repro.service.shm`).
@@ -17,6 +21,14 @@ See ``docs/ARCHITECTURE.md`` for the layer map, the sampling-correctness
 argument, and the batch-boundary consistency argument.
 """
 
+from .admission import (
+    BREAKER_STATES,
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    is_worker_failure,
+)
 from .engine import ShardedEngine
 from .executor import (
     EXECUTOR_NAMES,
@@ -28,6 +40,7 @@ from .executor import (
 )
 from .gateway import RequestGateway
 from .metrics import BatchSizeHistogram, GatewayMetrics, LatencyReservoir
+from .server import HttpFrontend, http_request, http_request_async
 from .shard import Shard
 from .shm import ShardView
 
@@ -36,6 +49,15 @@ __all__ = [
     "Shard",
     "ShardView",
     "RequestGateway",
+    "HttpFrontend",
+    "AdmissionController",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "BREAKER_STATES",
+    "is_worker_failure",
+    "http_request",
+    "http_request_async",
     "GatewayMetrics",
     "BatchSizeHistogram",
     "LatencyReservoir",

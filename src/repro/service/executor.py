@@ -43,6 +43,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Optional, TypeVar
 
+from ..core.errors import WorkerTimeoutError
 from .shm import SEED_BLOCK, merge_block_results, publish_shard, worker_main
 
 __all__ = [
@@ -471,7 +472,7 @@ class ProcessExecutor:
                     deadline = time.monotonic() + self._op_timeout
                     continue
                 if time.monotonic() > deadline:
-                    raise TimeoutError(
+                    raise WorkerTimeoutError(
                         f"shard worker (pid {worker.process.pid}) did not reply "
                         f"within {self._op_timeout:.0f}s"
                     )

@@ -53,7 +53,12 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.errors import GatewayClosedError, InvalidIntervalError, InvalidQueryError
+from ..core.errors import (
+    GatewayClosedError,
+    GatewayOverloadError,
+    InvalidIntervalError,
+    InvalidQueryError,
+)
 from ..core.flat import FlatAIT
 from ..core.interval import Interval, validate_endpoints
 from ..core.query import QueryLike, validate_sample_size
@@ -108,6 +113,12 @@ class RequestGateway:
         Maximum time the *oldest* request in a forming batch waits for
         batch-mates, i.e. the latency the gateway may add when traffic is
         light.  ``0`` dispatches whatever is queued without waiting.
+    max_queue_depth:
+        Bounded-intake cap: when the dispatch queue already holds this many
+        requests, :meth:`submit` sheds the newcomer with
+        :class:`~repro.core.errors.GatewayOverloadError` instead of growing
+        memory without bound.  ``None`` disables shedding (the pre-bounded
+        legacy behaviour).
     random_state:
         Seed/generator for ``sample`` dispatch.  One stream is used for all
         sampling batches, so results are reproducible given a deterministic
@@ -144,6 +155,7 @@ class RequestGateway:
         engine,
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
+        max_queue_depth: Optional[int] = 8192,
         random_state: RandomState = 0,
         metrics: Optional[GatewayMetrics] = None,
         start: bool = True,
@@ -152,9 +164,12 @@ class RequestGateway:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1 or None, got {max_queue_depth}")
         self._engine = engine
         self._max_batch_size = int(max_batch_size)
         self._max_wait = float(max_wait_ms) / 1e3
+        self._max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
         self._rng = resolve_rng(random_state)
         self._metrics = metrics if metrics is not None else GatewayMetrics()
         self._queue: queue_module.Queue = queue_module.Queue()
@@ -181,6 +196,16 @@ class RequestGateway:
         return self._max_wait * 1e3
 
     @property
+    def max_queue_depth(self) -> Optional[int]:
+        """Intake bound; submits shed with ``GatewayOverloadError`` beyond it."""
+        return self._max_queue_depth
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued and not yet drained into a micro-batch."""
+        return self._queue.qsize()
+
+    @property
     def is_running(self) -> bool:
         """True while the dispatcher thread is alive and accepting requests."""
         return (
@@ -199,6 +224,10 @@ class RequestGateway:
         executor's ``scatter`` strategy, ``None`` for in-process executors).
         """
         out = self._metrics.snapshot()
+        out["queue"] = {
+            "depth": self._queue.qsize(),
+            "max_queue_depth": self._max_queue_depth,
+        }
         engine = self._engine
         out["engine"] = {
             "executor": getattr(engine, "executor_kind", type(engine).__name__),
@@ -309,22 +338,68 @@ class RequestGateway:
         with self._close_lock:
             if self._closed:
                 raise GatewayClosedError("gateway is closed")
+            if (
+                self._max_queue_depth is not None
+                and self._queue.qsize() >= self._max_queue_depth
+            ):
+                # Shed *before* enqueueing: the overloaded path must stay
+                # O(1) and allocation-free so the gateway answers "try again
+                # later" faster than it could ever answer the query.
+                self._metrics.record_shed(op)
+                raise GatewayOverloadError(
+                    f"gateway overloaded: {self._queue.qsize()} requests queued "
+                    f"(max_queue_depth={self._max_queue_depth})"
+                )
             self._metrics.record_request(op)
             self._queue.put(request)
         return request.future
 
+    def _await_result(self, op: str, future: Future, timeout: Optional[float]):
+        """Wait out a blocking wrapper; cancel the request on wait-timeout.
+
+        Without the cancel, a timed-out wrapper would leave its request
+        queued: the dispatcher would still execute it and the outcome —
+        including a *write* — would land invisibly after the caller already
+        gave up.  Cancelling the future means a not-yet-started request is
+        dropped at dispatch (``set_running_or_notify_cancel`` filters it out
+        of its micro-batch); a request already mid-dispatch completes, which
+        the re-raised error spells out.
+        """
+        try:
+            return future.result(timeout)
+        except TimeoutError:
+            # Distinguish "the wait expired" from "the request itself failed
+            # with a timeout-class error" (e.g. WorkerTimeoutError): a done
+            # future carries the request's own outcome and must surface it.
+            if future.done():
+                if future.exception() is not None:
+                    raise
+                return future.result()
+            cancelled = future.cancel()
+            self._metrics.record_timeout(op)
+            detail = (
+                "request cancelled before dispatch"
+                if cancelled
+                else "request already dispatching; its result is discarded"
+            )
+            raise TimeoutError(
+                f"{op} did not complete within {timeout}s ({detail})"
+            ) from None
+
     # Blocking convenience wrappers -------------------------------------- #
     def count(self, query: QueryLike, timeout: Optional[float] = None) -> int:
         """``|q ∩ X|`` for one query (blocks until its micro-batch completes)."""
-        return self.submit("count", query).result(timeout)
+        return self._await_result("count", self.submit("count", query), timeout)
 
     def total_weight(self, query: QueryLike, timeout: Optional[float] = None) -> float:
         """Total weight of ``q ∩ X`` for one query (blocking)."""
-        return self.submit("total_weight", query).result(timeout)
+        return self._await_result(
+            "total_weight", self.submit("total_weight", query), timeout
+        )
 
     def report(self, query: QueryLike, timeout: Optional[float] = None) -> np.ndarray:
         """Ids of the intervals overlapping one query (blocking)."""
-        return self.submit("report", query).result(timeout)
+        return self._await_result("report", self.submit("report", query), timeout)
 
     def sample(
         self,
@@ -334,17 +409,19 @@ class RequestGateway:
         timeout: Optional[float] = None,
     ) -> np.ndarray:
         """``sample_size`` i.i.d. draws from one query's result set (blocking)."""
-        return self.submit("sample", query, sample_size, on_empty=on_empty).result(timeout)
+        return self._await_result(
+            "sample", self.submit("sample", query, sample_size, on_empty=on_empty), timeout
+        )
 
     def insert(
         self, interval: Interval | tuple[float, float], timeout: Optional[float] = None
     ) -> int:
         """Insert one interval; returns its global id (blocking)."""
-        return self.submit("insert", interval).result(timeout)
+        return self._await_result("insert", self.submit("insert", interval), timeout)
 
     def delete(self, global_id: int, timeout: Optional[float] = None) -> bool:
         """Delete one interval by global id; True when it was active (blocking)."""
-        return self.submit("delete", global_id).result(timeout)
+        return self._await_result("delete", self.submit("delete", global_id), timeout)
 
     def checkpoint(
         self,
@@ -362,8 +439,13 @@ class RequestGateway:
         while missing from the new snapshot.  Arguments mirror
         :meth:`ShardedEngine.save_snapshot` (blocking).
         """
-        return self.submit("checkpoint", *(() if directory is None else (directory,)),
-                           fsync=fsync, retain=retain).result(timeout)
+        future = self.submit(
+            "checkpoint",
+            *(() if directory is None else (directory,)),
+            fsync=fsync,
+            retain=retain,
+        )
+        return self._await_result("checkpoint", future, timeout)
 
     # ------------------------------------------------------------------ #
     # validation helpers

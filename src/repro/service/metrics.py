@@ -197,6 +197,8 @@ class GatewayMetrics:
         "_requests",
         "_completions",
         "_errors",
+        "_timeouts",
+        "_sheds",
         "_fallbacks",
         "_histogram",
         "_groups_total",
@@ -209,6 +211,8 @@ class GatewayMetrics:
         self._requests: dict[str, int] = {}
         self._completions: dict[str, int] = {}
         self._errors: dict[str, int] = {}
+        self._timeouts: dict[str, int] = {}
+        self._sheds: dict[str, int] = {}
         self._fallbacks = 0
         self._histogram = BatchSizeHistogram()
         self._groups_total = 0
@@ -224,6 +228,16 @@ class GatewayMetrics:
         with self._lock:
             self._histogram.record(size)
             self._groups_total += int(groups)
+
+    def record_timeout(self, op: str) -> None:
+        """Count one blocking-wrapper (or front-end deadline) timeout for ``op``."""
+        with self._lock:
+            self._timeouts[op] = self._timeouts.get(op, 0) + 1
+
+    def record_shed(self, op: str) -> None:
+        """Count one request shed at submit time (gateway queue at capacity)."""
+        with self._lock:
+            self._sheds[op] = self._sheds.get(op, 0) + 1
 
     def record_fallback(self) -> None:
         """Count one grouped dispatch that fell back to per-request execution."""
@@ -251,6 +265,8 @@ class GatewayMetrics:
                 "requests": dict(sorted(self._requests.items())),
                 "completions": dict(sorted(self._completions.items())),
                 "errors": dict(sorted(self._errors.items())),
+                "timed_out": dict(sorted(self._timeouts.items())),
+                "shed": dict(sorted(self._sheds.items())),
                 "batches": {
                     "dispatched": dispatched,
                     "mean_size": round(self._histogram.mean(), 3),

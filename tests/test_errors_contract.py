@@ -18,6 +18,7 @@ from repro import (
     EmptyDatasetError,
     EmptyResultError,
     GatewayClosedError,
+    GatewayOverloadError,
     Interval,
     IntervalDataset,
     InvalidIntervalError,
@@ -31,6 +32,7 @@ from repro import (
     StructureStateError,
     UnsupportedOperationError,
     WALCorruptError,
+    WorkerTimeoutError,
 )
 from repro.core.query import coerce_query, coerce_query_batch, validate_sample_size
 from repro.kernels import get_backend, resolve_backend
@@ -57,6 +59,8 @@ class TestHierarchy:
             (StructureStateError, RuntimeError),
             (UnsupportedOperationError, NotImplementedError),
             (GatewayClosedError, RuntimeError),
+            (GatewayOverloadError, RuntimeError),
+            (WorkerTimeoutError, TimeoutError),
             (PersistenceError, OSError),
             (SnapshotCorruptError, OSError),
             (WALCorruptError, OSError),
@@ -70,6 +74,16 @@ class TestHierarchy:
         # Pre-1.4 callers caught StructureStateError/RuntimeError on a closed
         # gateway; GatewayClosedError must remain catchable that way.
         assert issubclass(GatewayClosedError, StructureStateError)
+
+    def test_gateway_overload_is_structure_state(self):
+        # Overload shedding (v1.8) rides the same hierarchy: callers that
+        # already catch StructureStateError keep working under load shedding.
+        assert issubclass(GatewayOverloadError, StructureStateError)
+
+    def test_worker_timeout_is_builtin_timeout(self):
+        # Pre-1.8 the executor op-timeout raised a bare TimeoutError; the
+        # typed WorkerTimeoutError must remain catchable the old way.
+        assert issubclass(WorkerTimeoutError, TimeoutError)
 
     def test_persistence_errors_refine_persistence_error(self):
         assert issubclass(SnapshotCorruptError, PersistenceError)
@@ -229,6 +243,47 @@ class TestServiceStateErrors:
             with RequestGateway(engine, max_wait_ms=1.0) as gateway:
                 with pytest.raises(InvalidQueryError, match=r"Interval or a \(left, right\) pair"):
                     gateway.submit("count", object())
+
+    def test_gateway_submit_when_overloaded(self):
+        with ShardedEngine(_dataset(), num_shards=2) as engine:
+            gateway = RequestGateway(engine, max_queue_depth=2, start=False)
+            gateway.submit("count", (0.0, 5.0))
+            gateway.submit("count", (0.0, 5.0))
+            with pytest.raises(
+                GatewayOverloadError,
+                match=r"gateway overloaded: 2 requests queued \(max_queue_depth=2\)",
+            ):
+                gateway.submit("count", (0.0, 5.0))
+            gateway.close()
+
+    def test_worker_op_timeout(self):
+        """The executor's op-timeout raise site: typed error, pinned message."""
+        import queue as queue_module
+
+        from repro.service import ProcessExecutor
+        from repro.service.executor import _Worker
+
+        class _StubProcess:
+            pid = 4242
+
+            def is_alive(self):
+                return True
+
+        class _StubQueue:
+            def get(self, timeout=None):
+                raise queue_module.Empty
+
+        executor = ProcessExecutor(op_timeout=0.01)
+        worker = _Worker(_StubProcess(), _StubQueue(), _StubQueue())
+        try:
+            with pytest.raises(
+                WorkerTimeoutError,
+                match=r"shard worker \(pid 4242\) did not reply within 0s",
+            ):
+                executor._await(worker)
+        finally:
+            executor._workers.clear()
+            executor.shutdown()
 
 
 # --------------------------------------------------------------------------- #

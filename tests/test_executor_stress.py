@@ -22,6 +22,7 @@ no sleeps-as-sync, so the tests are deterministic and run at full speed.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -255,3 +256,87 @@ class TestCheckpointKillRecover:
             surviving = set(int(g) for g in recovered.report_many([DOMAIN])[0])
             assert set(acked) <= surviving
             oracle.close()
+
+
+class TestDrainUnderFire:
+    """ISSUE 10's drain contract: close() under concurrent writers + a
+    SIGKILLed worker loses no acked write and rejects post-close submits."""
+
+    N_WRITERS = 3
+    MIN_ACKS_BEFORE_DRAIN = 5
+
+    def test_close_under_fire_loses_no_acked_write(self, tmp_path, dataset):
+        from repro.core.errors import GatewayClosedError
+
+        directory = str(tmp_path / "drainfire")
+        with ShardedEngine(dataset, num_shards=4) as seed_engine:
+            seed_engine.save_snapshot(directory)
+
+        executor = ProcessExecutor(max_workers=2)
+        engine = ShardedEngine.open(directory, executor=executor)
+        gateway = RequestGateway(engine, max_wait_ms=1.0)
+        acked: list[list[int]] = [[] for _ in range(self.N_WRITERS)]
+        closed_observed: list[str] = []
+        lock = threading.Lock()
+
+        def writer(slot: int):
+            rng = np.random.default_rng(4000 + slot)
+            for _ in range(100_000):
+                left = float(rng.uniform(0.0, 900.0))
+                try:
+                    gid = gateway.insert((left, left + 3.0), timeout=60)
+                except GatewayClosedError:
+                    with lock:
+                        closed_observed.append(f"writer-{slot}")
+                    return
+                acked[slot].append(gid)
+            raise AssertionError("gateway never closed under fire")
+
+        def reader():
+            base = len(dataset)
+            last = base
+            for _ in range(100_000):
+                try:
+                    count = gateway.count(DOMAIN, timeout=60)
+                except GatewayClosedError:
+                    with lock:
+                        closed_observed.append("reader")
+                    return
+                # insert-only workload: batch-boundary snapshots stay monotone
+                # even while a worker is being SIGKILLed and respawned
+                assert count >= last
+                last = count
+            raise AssertionError("gateway never closed under fire")
+
+        def controller():
+            # wait for real fire, murder a shard worker mid-service, keep the
+            # fire burning a moment, then drain
+            while not all(len(ids) >= self.MIN_ACKS_BEFORE_DRAIN for ids in acked):
+                time.sleep(0.002)
+            executor.kill_worker(0)
+            while not all(len(ids) >= 2 * self.MIN_ACKS_BEFORE_DRAIN for ids in acked):
+                time.sleep(0.002)
+            gateway.close()
+
+        try:
+            _run_threads(
+                [lambda s=i: writer(s) for i in range(self.N_WRITERS)]
+                + [reader, controller]
+            )
+            # every client that outlived the drain saw the pinned close error
+            assert sorted(closed_observed) == sorted(
+                [f"writer-{i}" for i in range(self.N_WRITERS)] + ["reader"]
+            )
+            with pytest.raises(GatewayClosedError, match=r"gateway is closed"):
+                gateway.submit("insert", (1.0, 2.0))
+        finally:
+            engine.close()
+            executor.shutdown()
+
+        # recover on a serial engine: acknowledged => durable, exactly once
+        flat = [gid for ids in acked for gid in ids]
+        assert len(flat) == len(set(flat))
+        with ShardedEngine.open(directory) as recovered:
+            assert recovered.size == len(dataset) + len(flat)
+            surviving = set(int(g) for g in recovered.report_many([DOMAIN])[0])
+            assert set(flat) <= surviving

@@ -34,6 +34,7 @@ EXTRA_IDS = {
     "recovery",
     "parallel_scaling",
     "kernel_throughput",
+    "serving_slo",
 }
 
 EXPECTED_IDS = PAPER_IDS | EXTRA_IDS

@@ -230,7 +230,18 @@ class TestValidationAndLifecycle:
             gateway.count((0.0, 500.0), timeout=10)
             gateway.sample((0.0, 500.0), 4, timeout=10)
             stats = gateway.stats()
-        assert set(stats) == {"requests", "completions", "errors", "batches", "latency_ms", "engine"}
+        assert set(stats) == {
+            "requests",
+            "completions",
+            "errors",
+            "timed_out",
+            "shed",
+            "batches",
+            "latency_ms",
+            "queue",
+            "engine",
+        }
+        assert stats["queue"] == {"depth": 0, "max_queue_depth": 8192}
         assert stats["engine"]["executor"] == "serial"
         assert stats["engine"]["num_shards"] >= 1
         assert stats["completions"] == {"count": 1, "sample": 1}
@@ -364,3 +375,93 @@ class TestCheckpoint:
             with pytest.raises(ValueError, match=r"not attached"):
                 bad.result(timeout=10)
             assert isinstance(good.result(timeout=10), int)
+
+
+class TestBoundedIntake:
+    """The v1.8 overload contract: submit sheds fast once the queue is full."""
+
+    def test_submit_sheds_past_max_queue_depth(self, engine):
+        from repro import GatewayOverloadError
+
+        gateway = RequestGateway(engine, max_queue_depth=3, start=False)
+        for _ in range(3):
+            gateway.submit("count", (0.0, 10.0))
+        with pytest.raises(GatewayOverloadError, match=r"max_queue_depth=3"):
+            gateway.submit("count", (0.0, 10.0))
+        stats = gateway.stats()
+        assert stats["shed"] == {"count": 1}
+        assert stats["queue"] == {"depth": 3, "max_queue_depth": 3}
+        # draining the queue re-opens the intake
+        assert gateway.process_pending() == 3
+        future = gateway.submit("count", (0.0, 10.0))
+        gateway.process_pending()
+        assert isinstance(future.result(timeout=10), int)
+        gateway.close()
+
+    def test_shed_request_never_entered_the_queue(self, engine):
+        from repro import GatewayOverloadError
+
+        gateway = RequestGateway(engine, max_queue_depth=1, start=False)
+        gateway.submit("count", (0.0, 10.0))
+        with pytest.raises(GatewayOverloadError):
+            gateway.submit("insert", (1.0, 2.0))
+        stats = gateway.stats()
+        # the shed insert was not recorded as a request and will never run
+        assert stats["requests"] == {"count": 1}
+        assert gateway.process_pending() == 1
+        gateway.close()
+
+    def test_unbounded_intake_when_disabled(self, engine):
+        gateway = RequestGateway(engine, max_queue_depth=None, start=False)
+        for _ in range(32):
+            gateway.submit("count", (0.0, 10.0))
+        assert gateway.stats()["queue"]["max_queue_depth"] is None
+        assert gateway.process_pending() == 32
+        gateway.close()
+
+    def test_constructor_validation(self, engine):
+        with pytest.raises(ValueError, match=r"max_queue_depth must be >= 1 or None"):
+            RequestGateway(engine, max_queue_depth=0)
+
+
+class TestTimeoutSemantics:
+    """The v1.8 wrapper-timeout contract: cancel what has not started."""
+
+    def test_wrapper_timeout_cancels_unstarted_request(self, engine):
+        gateway = RequestGateway(engine, max_wait_ms=1.0, start=False)
+        with pytest.raises(TimeoutError, match=r"cancelled before dispatch"):
+            gateway.count((0.0, 10.0), timeout=0.05)
+        stats = gateway.stats()
+        assert stats["timed_out"] == {"count": 1}
+        # the cancelled request is dropped at dispatch, not executed late
+        assert gateway.process_pending() == 1
+        assert gateway.stats()["completions"] == {}
+        gateway.close()
+
+    def test_timed_out_write_does_not_apply_invisibly(self, engine):
+        before = engine.size
+        gateway = RequestGateway(engine, max_wait_ms=1.0, start=False)
+        with pytest.raises(TimeoutError, match=r"cancelled before dispatch"):
+            gateway.insert((500.0, 510.0), timeout=0.05)
+        gateway.process_pending()
+        gateway.close()
+        assert engine.size == before  # the write never landed
+
+    def test_wrapper_timeout_does_not_mask_worker_timeout(self, engine):
+        from repro import WorkerTimeoutError
+
+        class _TimeoutingEngine:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def count_many(self, queries):
+                raise WorkerTimeoutError("shard worker (pid 7) did not reply within 5s")
+
+        with RequestGateway(_TimeoutingEngine(engine), max_wait_ms=1.0) as gateway:
+            # the request's own timeout-class error must surface, not be
+            # rewritten into a wrapper wait-timeout
+            with pytest.raises(WorkerTimeoutError, match=r"did not reply within"):
+                gateway.count((0.0, 10.0), timeout=30)
